@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper inside the
+deterministic simulator, prints the same rows/series the paper reports, and
+asserts the *shape* claims (orderings, crossovers, limits) rather than the
+absolute numbers — our substrate is a calibrated simulator, not the
+authors' hardware.  pytest-benchmark times the simulation itself (wall
+time), which doubles as a performance regression check on the simulator.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,102 @@
+"""Benchmarks: the design-choice ablations DESIGN.md calls out."""
+
+from repro.bench import ablations
+from repro.bench.harness import format_table
+
+
+def test_ablation_upcall_vs_thread(once):
+    """Sec. 3.3: attaching the server body as a reader upcall converts a
+    cross-thread call into a local one, saving the context switches."""
+    results = once(ablations.upcall_vs_thread_server)
+    print()
+    print(
+        format_table(
+            "Mailbox server shape",
+            ["shape", "us/request"],
+            [
+                ("separate thread", f"{results['thread_us']:.1f}"),
+                ("reader upcall", f"{results['upcall_us']:.1f}"),
+            ],
+        )
+    )
+    assert results["upcall_us"] < results["thread_us"]
+    # The saving is on the order of two context switches (2 x ~20 us).
+    assert results["upcall_advantage_us"] >= 20.0
+
+
+def test_ablation_mailbox_modes(once):
+    """Sec. 3.3: shared-memory mailbox ops ~2x faster than RPC-based."""
+    results = once(ablations.mailbox_mode_comparison)
+    print()
+    print(
+        format_table(
+            "Mailbox host-op implementations",
+            ["implementation", "us/cycle"],
+            [
+                ("shared memory", f"{results['shared_us']:.1f}"),
+                ("RPC-based", f"{results['rpc_us']:.1f}"),
+            ],
+        )
+    )
+    print(f"  speedup: {results['speedup']:.2f}x (paper: ~2x)")
+    assert results["shared_us"] < results["rpc_us"]
+    assert 1.5 <= results["speedup"] <= 4.0
+
+
+def test_ablation_ip_input_placement(once):
+    """Sec. 3.1 experiment: interrupt-time vs thread IP input."""
+    results = once(ablations.ip_input_mode_comparison)
+    print()
+    print(
+        format_table(
+            "IP input placement (UDP RTT)",
+            ["mode", "us"],
+            [
+                ("interrupt", f"{results['interrupt_us']:.1f}"),
+                ("thread", f"{results['thread_us']:.1f}"),
+            ],
+        )
+    )
+    # Moving input processing into a thread costs extra context switches
+    # per packet...
+    assert results["thread_penalty_us"] > 0
+    # ... but not catastrophically (a few switch times per round trip).
+    assert results["thread_penalty_us"] < 200.0
+
+
+def test_ablation_vme_bandwidth(once):
+    """Sec. 7: the design is bus-independent; faster buses raise host-host
+    throughput until the CAB/network side binds."""
+    rows = once(ablations.vme_bandwidth_sweep)
+    print()
+    print(
+        format_table(
+            "VME bandwidth sweep (host-host RMP, 8 KB)",
+            ["bus Mbit/s", "Mbit/s"],
+            [(f"{m:.0f}", t) for m, t in rows],
+        )
+    )
+    values = [t for _m, t in rows]
+    assert values == sorted(values)
+    # Doubling the 30 Mbit/s bus must substantially raise throughput.
+    by_bus = dict(rows)
+    assert by_bus[60.0] > 1.5 * by_bus[30.0]
+    # At 30 Mbit/s the measured value sits just under the bus limit.
+    assert 25.0 <= by_bus[30.0] <= 30.5
+
+
+def test_ablation_checksum_cost(once):
+    """The software checksum constant drives the Fig. 7 TCP/RMP gap."""
+    rows = once(ablations.checksum_sweep)
+    print()
+    print(
+        format_table(
+            "Checksum cost sweep (CAB-CAB TCP, 8 KB)",
+            ["ns/byte", "Mbit/s"],
+            rows,
+        )
+    )
+    values = [t for _c, t in rows]
+    assert values == sorted(values, reverse=True)
+    by_cost = dict(rows)
+    assert by_cost[0] > 2.0 * by_cost[150]

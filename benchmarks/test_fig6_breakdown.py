@@ -1,0 +1,37 @@
+"""Benchmark: Figure 6 — one-way host-to-host datagram latency breakdown."""
+
+from repro.bench import fig6
+from repro.bench.harness import format_table
+
+
+def test_fig6_one_way_breakdown(once):
+    breakdown = once(fig6.run)
+    print()
+    rows = [(name, f"{value:.1f}") for name, value in breakdown.items()]
+    print(format_table("Figure 6 breakdown (us)", ["component", "us"], rows))
+
+    total = breakdown["total one-way"]
+    # Paper: total ~163 us.  Within 40%.
+    assert 0.6 * fig6.PAPER_TOTAL_US <= total <= 1.4 * fig6.PAPER_TOTAL_US
+
+    shares = fig6.shares(breakdown)
+    print(
+        format_table(
+            "Shares", ["component", "measured", "paper"],
+            [
+                (name, f"{value * 100:.0f}%", f"{fig6.PAPER_SHARES[name] * 100:.0f}%")
+                for name, value in shares.items()
+            ],
+        )
+    )
+    # Paper proportions: ~40% interface, ~40% CAB-to-CAB, ~20% host ends.
+    # Assert each share is in a generous band around the paper's.
+    assert 0.15 <= shares["host-CAB interface"] <= 0.55
+    assert 0.25 <= shares["CAB-to-CAB"] <= 0.55
+    assert 0.10 <= shares["host create/read"] <= 0.45
+    # The sending side dominates the interface cost (the CAB must be
+    # interrupted and a thread scheduled; the receiver merely polls).
+    assert (
+        breakdown["host-CAB interface (send)"]
+        > breakdown["CAB-host interface (receive)"]
+    )

@@ -1,0 +1,39 @@
+"""Benchmark: Figure 7 — CAB-to-CAB throughput vs message size."""
+
+from repro.bench import fig7
+
+
+def test_fig7_cab_to_cab_throughput(once):
+    rows = once(fig7.run, count=25)
+    print()
+    print(fig7.render(rows))
+
+    by_size = {row.size: row for row in rows}
+
+    # Throughput rises monotonically with message size for every protocol.
+    for attr in ("rmp_mbps", "tcp_mbps", "tcp_nochecksum_mbps"):
+        values = [getattr(row, attr) for row in rows]
+        assert values == sorted(values), attr
+
+    # Paper: "For small packets (up to 256 bytes), the per-packet overhead
+    # dominates ... and the throughput doubles when the packet size
+    # doubles."  Allow a generous 1.6x per doubling.
+    for small, double in ((16, 32), (32, 64), (64, 128), (128, 256)):
+        assert by_size[double].rmp_mbps >= 1.6 * by_size[small].rmp_mbps
+
+    # Paper: RMP reaches ~90 of the 100 Mbit/s fiber at 8 KB.
+    assert 60.0 <= by_size[8192].rmp_mbps <= 100.0
+
+    # Paper: TCP/IP sits well below RMP, "mostly due to the cost of doing
+    # TCP checksums in software".
+    assert by_size[8192].tcp_mbps < 0.65 * by_size[8192].rmp_mbps
+
+    # Paper: "TCP without checksums is almost as fast as RMP".
+    assert by_size[8192].tcp_nochecksum_mbps >= 0.8 * by_size[8192].rmp_mbps
+    # ... and far above TCP with checksums.
+    assert by_size[8192].tcp_nochecksum_mbps > 1.5 * by_size[8192].tcp_mbps
+
+    # The mechanism behind the gap, visible in CPU terms: checksumming TCP
+    # pins the sender CPU while RMP at large sizes is wire-bound.
+    assert by_size[8192].tcp_cpu_util > 0.9
+    assert by_size[8192].rmp_cpu_util < 0.3

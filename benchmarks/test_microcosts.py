@@ -1,0 +1,22 @@
+"""Benchmark: the micro-cost numbers the paper states directly."""
+
+from repro.bench import microcosts
+
+
+def test_microcosts(once):
+    results = once(microcosts.run)
+    print()
+    for name, value in results.items():
+        print(f"  {name}: {value}")
+
+    # Sec. 3.1: context switch ~20 us.
+    assert abs(results["context_switch_us"] - 20.0) < 1.0
+
+    # Sec. 2.1: connection setup + first byte through a single HUB: 700 ns.
+    assert results["hub_setup_ns"] == 700
+
+    # Sec. 6.1: fiber + HUB latency under 5 us.
+    assert results["link_one_byte_us"] < 5.0
+
+    # Sec. 6: RPC between application tasks on two hosts below 500 us.
+    assert results["rpc_rtt_us"] < 500.0

@@ -1,0 +1,36 @@
+"""Benchmark: Table 1 — round-trip latency, host-host and CAB-CAB."""
+
+from repro.bench import table1
+
+
+def test_table1_roundtrip_latency(once):
+    rows = once(table1.run)
+    print()
+    print(table1.render(rows))
+
+    by_protocol = {row.protocol: row for row in rows}
+
+    # Every protocol: CAB-resident round trips beat host-level ones (the
+    # host-CAB interface costs real time).
+    for row in rows:
+        assert row.cab_rtt_us < row.host_rtt_us, row.protocol
+
+    # The datagram protocol is (essentially) the fastest transport (paper
+    # Table 1).  Request-response's host path issues a single host-to-CAB
+    # RPC rather than separate mailbox operations, so it may tie.
+    datagram = by_protocol["datagram"]
+    fastest = min(row.host_rtt_us for row in rows)
+    assert datagram.host_rtt_us <= 1.1 * fastest
+    assert datagram.host_rtt_us < by_protocol["rmp"].host_rtt_us
+    assert datagram.cab_rtt_us < by_protocol["rmp"].cab_rtt_us
+
+    # Shape vs the paper's two legible numbers: within 40%.
+    assert 0.6 * 325 <= datagram.host_rtt_us <= 1.4 * 325
+    assert 0.6 * 179 <= datagram.cab_rtt_us <= 1.4 * 179
+
+    # UDP (the general-purpose stack) costs more than the Nectar-specific
+    # datagram protocol, as in the paper.
+    assert by_protocol["udp"].host_rtt_us > datagram.host_rtt_us
+
+    # Sec. 6: RPC between application tasks on two hosts under 500 us.
+    assert by_protocol["request-response"].host_rtt_us < 500.0

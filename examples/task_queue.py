@@ -1,0 +1,89 @@
+"""Divide-and-conquer on the CABs (paper Sec. 5.3).
+
+"Common paradigms for parallel processing, such as divide-and-conquer and
+task-queue models, have been implemented on Nectar, using one or more CABs
+to divide the labor and gather the results."
+
+This example builds a 5-node Nectar system and uses the CABs as
+application-level communication engines: a coordinator task on one CAB
+spawns worker tasks on the other CABs through Nectarine's remote task
+creation, hands out work over the request-response transport, and gathers
+partial results — all without involving the hosts at all.
+
+The workload factors a batch of integers (stand-in for the paper's Noodles /
+COSMOS / Paradigm applications).
+
+Run:  python examples/task_queue.py
+"""
+
+from repro.nectarine.api import CabNectarine
+from repro.nectarine.naming import NameService
+from repro.nectarine.tasks import TaskRegistry
+from repro.system import NectarSystem
+from repro.units import ns_to_us, seconds
+
+NUMBERS = [91, 221, 437, 899, 1147, 1517, 2021, 2491, 3127, 3599, 4087, 4757]
+WORKERS = 4
+
+
+def smallest_factor(value: int) -> int:
+    divisor = 2
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return divisor
+        divisor += 1
+    return value
+
+
+def main() -> None:
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    nodes = [system.add_node(f"cab-{i}", hub, i) for i in range(1 + WORKERS)]
+    coordinator_node, worker_nodes = nodes[0], nodes[1:]
+
+    names = NameService()
+    tasks = TaskRegistry()
+
+    # The worker task: serve "factor" requests on a well-known port.
+    def worker_task(node, arg: bytes):
+        app = CabNectarine(node, names, tasks)
+
+        def handle(request: bytes) -> bytes:
+            value = int(request)
+            return f"{value}={smallest_factor(value)}".encode()
+
+        app.serve(f"factor@{node.name}", handle)
+        # Serving happens in a forked thread; this task's job is done.
+        yield from node.runtime.ops.sleep(0)
+
+    tasks.register("factor-worker", worker_task)
+    for node in nodes:
+        tasks.install(node)
+
+    done = system.sim.event()
+
+    def coordinator():
+        app = CabNectarine(coordinator_node, names, tasks)
+        # Spawn a worker task on every other CAB.
+        for node in worker_nodes:
+            reply = yield from app.create_remote_task(node.node_id, "factor-worker")
+            assert reply.startswith(b"OK"), reply
+        # Task-queue: round-robin the work over the workers.
+        results = []
+        for index, value in enumerate(NUMBERS):
+            node = worker_nodes[index % len(worker_nodes)]
+            reply = yield from app.call(f"factor@{node.name}", str(value).encode())
+            results.append(reply.decode())
+        done.succeed(results)
+
+    coordinator_node.runtime.fork_application(coordinator(), "coordinator")
+    results = system.run_until(done, limit=seconds(10))
+
+    print(f"factored {len(NUMBERS)} numbers on {WORKERS} CAB workers "
+          f"in {ns_to_us(system.now):.0f} us of simulated time:")
+    for result in results:
+        print(f"  {result}")
+
+
+if __name__ == "__main__":
+    main()

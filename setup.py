@@ -1,0 +1,10 @@
+"""Setup shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
+installs; on fully offline machines without it, ``python setup.py develop``
+achieves the same editable install using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""nectar-repro: an executable reproduction of "Protocol Implementation on
+the Nectar Communication Processor" (Cooper, Steenkiste, Sansom, Zill;
+SIGCOMM 1990).
+
+The public entry point for most uses is :class:`repro.system.NectarSystem`,
+which assembles CABs with complete protocol stacks on a simulated HUB
+fabric; :class:`repro.host.machine.HostedNode` adds a host with the CAB
+device driver; :mod:`repro.nectarine` is the application interface; and
+:mod:`repro.bench` regenerates the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+from repro.system import NectarNode, NectarSystem
+
+__all__ = ["NectarNode", "NectarSystem", "__version__"]

@@ -1,0 +1,38 @@
+"""Run the full evaluation: every table, figure, micro-cost, and ablation.
+
+Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import ablations, fig6, fig7, fig8, microcosts, table1
+
+_EXPERIMENTS = {
+    "table1": table1.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "micro": microcosts.main,
+    "ablations": ablations.main,
+}
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or ["all"]
+    names = list(_EXPERIMENTS) if targets == ["all"] else targets
+    for name in names:
+        if name not in _EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{', '.join(_EXPERIMENTS)} or 'all'", file=sys.stderr)
+            return 2
+    for index, name in enumerate(names):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        _EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,502 @@
+"""Round-trip latency workloads (Table 1) and the Fig. 6 breakdown.
+
+Each harness builds a ping-pong workload on a two-node rig and returns a
+:class:`~repro.model.stats.LatencyRecorder` of per-round RTT samples.
+Host-level measurements follow the paper's setup: the receiving host polls
+(no interrupt or context switch on the receive side, Sec. 6.1), while the
+sending side must interrupt the CAB and schedule a CAB thread.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Generator
+
+from repro.apps.services import (
+    install_rmp_echo,
+    install_rmp_host_send,
+    install_udp_host_send,
+    _UDP_SEND_FMT,
+)
+from repro.host.machine import HostedNode
+from repro.model.stats import LatencyRecorder
+from repro.protocols.headers import (
+    NECTAR_KIND_DATA,
+    NECTAR_PROTO_DATAGRAM,
+    NectarTransportHeader,
+)
+from repro.sim.trace import TraceRecorder
+from repro.system import NectarSystem, NectarNode
+from repro.units import seconds
+
+__all__ = [
+    "cab_datagram_rtt",
+    "cab_reqresp_rtt",
+    "cab_rmp_rtt",
+    "cab_udp_rtt",
+    "fig6_one_way_breakdown",
+    "host_datagram_rtt",
+    "host_reqresp_rtt",
+    "host_rmp_rtt",
+    "host_udp_rtt",
+]
+
+_DEFAULT_SIZE = 32
+_LIMIT = seconds(120)
+
+
+def _measure(system: NectarSystem, client_gen, rounds: int, warmup: int) -> LatencyRecorder:
+    """Run the client generator; it must fire ``done`` with the recorder."""
+    done = system.sim.event()
+    recorder = LatencyRecorder()
+    client_gen(done, recorder)
+    system.run_until(done, limit=_LIMIT)
+    assert recorder.count == rounds - warmup
+    return recorder
+
+
+# ====================================================================== CAB-CAB
+
+
+def cab_datagram_rtt(
+    system: NectarSystem,
+    node_a: NectarNode,
+    node_b: NectarNode,
+    message_size: int = _DEFAULT_SIZE,
+    rounds: int = 30,
+    warmup: int = 5,
+) -> LatencyRecorder:
+    """Datagram ping-pong between threads on two CABs."""
+    a_inbox = node_a.runtime.mailbox("lat-a-inbox")
+    b_inbox = node_b.runtime.mailbox("lat-b-inbox")
+    node_a.datagram.bind(11, a_inbox)
+    node_b.datagram.bind(12, b_inbox)
+    payload = b"\xA5" * message_size
+
+    def client_gen(done, recorder):
+        def client() -> Generator:
+            for index in range(rounds):
+                start = system.now
+                yield from node_a.datagram.send(11, node_b.node_id, 12, payload)
+                msg = yield from a_inbox.begin_get()
+                yield from a_inbox.end_get(msg)
+                if index >= warmup:
+                    recorder.record(system.now - start)
+            done.succeed()
+
+        def echo() -> Generator:
+            while True:
+                msg = yield from b_inbox.begin_get()
+                data = msg.read()
+                yield from b_inbox.end_get(msg)
+                yield from node_b.datagram.send(12, node_a.node_id, 11, data)
+
+        node_a.runtime.fork_application(client(), "lat-client")
+        node_b.runtime.fork_system(echo(), "lat-echo")
+
+    return _measure(system, client_gen, rounds, warmup)
+
+
+def cab_rmp_rtt(
+    system: NectarSystem,
+    node_a: NectarNode,
+    node_b: NectarNode,
+    message_size: int = _DEFAULT_SIZE,
+    rounds: int = 30,
+    warmup: int = 5,
+) -> LatencyRecorder:
+    """Reliable-message ping-pong between threads on two CABs."""
+    a_inbox = node_a.runtime.mailbox("lat-a-inbox")
+    b_inbox = node_b.runtime.mailbox("lat-b-inbox")
+    chan_ab = node_a.rmp.open(21, node_b.node_id, 22, deliver_mailbox=a_inbox)
+    chan_ba = node_b.rmp.open(22, node_a.node_id, 21, deliver_mailbox=b_inbox)
+    payload = b"\x5A" * message_size
+
+    def client_gen(done, recorder):
+        def client() -> Generator:
+            for index in range(rounds):
+                start = system.now
+                yield from node_a.rmp.send(chan_ab, payload)
+                msg = yield from a_inbox.begin_get()
+                yield from a_inbox.end_get(msg)
+                if index >= warmup:
+                    recorder.record(system.now - start)
+            done.succeed()
+
+        node_a.runtime.fork_application(client(), "lat-client")
+        install_rmp_echo(node_b, chan_ba, b_inbox)
+
+    return _measure(system, client_gen, rounds, warmup)
+
+
+def cab_reqresp_rtt(
+    system: NectarSystem,
+    node_a: NectarNode,
+    node_b: NectarNode,
+    message_size: int = _DEFAULT_SIZE,
+    rounds: int = 30,
+    warmup: int = 5,
+) -> LatencyRecorder:
+    """Request-response (RPC transport) round trips between two CABs."""
+    server_mailbox = node_b.runtime.mailbox("lat-rpc-server")
+    node_b.rpc.serve(31, server_mailbox)
+    payload = b"\x3C" * message_size
+
+    def client_gen(done, recorder):
+        def server() -> Generator:
+            while True:
+                msg = yield from server_mailbox.begin_get()
+                header = NectarTransportHeader.unpack(
+                    msg.read(0, NectarTransportHeader.SIZE)
+                )
+                body = msg.read(NectarTransportHeader.SIZE)
+                yield from server_mailbox.end_get(msg)
+                yield from node_b.rpc.respond(header, body)
+
+        def client() -> Generator:
+            port = node_a.rpc.allocate_client_port()
+            for index in range(rounds):
+                start = system.now
+                yield from node_a.rpc.request(port, node_b.node_id, 31, payload)
+                if index >= warmup:
+                    recorder.record(system.now - start)
+            done.succeed()
+
+        node_b.runtime.fork_system(server(), "lat-rpc-server")
+        node_a.runtime.fork_application(client(), "lat-client")
+
+    return _measure(system, client_gen, rounds, warmup)
+
+
+def cab_udp_rtt(
+    system: NectarSystem,
+    node_a: NectarNode,
+    node_b: NectarNode,
+    message_size: int = _DEFAULT_SIZE,
+    rounds: int = 30,
+    warmup: int = 5,
+) -> LatencyRecorder:
+    """UDP ping-pong between threads on two CABs."""
+    a_inbox = node_a.runtime.mailbox("lat-a-inbox")
+    b_inbox = node_b.runtime.mailbox("lat-b-inbox")
+    node_a.udp.bind(41, a_inbox)
+    node_b.udp.bind(42, b_inbox)
+    payload = b"\x69" * message_size
+
+    def client_gen(done, recorder):
+        def client() -> Generator:
+            for index in range(rounds):
+                start = system.now
+                yield from node_a.udp.send(41, node_b.ip_address, 42, payload)
+                msg = yield from a_inbox.begin_get()
+                yield from a_inbox.end_get(msg)
+                if index >= warmup:
+                    recorder.record(system.now - start)
+            done.succeed()
+
+        def echo() -> Generator:
+            while True:
+                msg = yield from b_inbox.begin_get()
+                data = msg.read()
+                yield from b_inbox.end_get(msg)
+                yield from node_b.udp.send(42, node_a.ip_address, 41, data)
+
+        node_a.runtime.fork_application(client(), "lat-client")
+        node_b.runtime.fork_system(echo(), "lat-echo")
+
+    return _measure(system, client_gen, rounds, warmup)
+
+
+# ==================================================================== host-host
+
+
+def _datagram_packet(src_port: int, dst_node: int, dst_port: int, payload: bytes) -> bytes:
+    header = NectarTransportHeader(
+        protocol=NECTAR_PROTO_DATAGRAM,
+        kind=NECTAR_KIND_DATA,
+        src_port=src_port,
+        dst_node=dst_node,
+        dst_port=dst_port,
+    )
+    return header.pack() + payload
+
+
+def host_datagram_rtt(
+    system: NectarSystem,
+    hosted_a: HostedNode,
+    hosted_b: HostedNode,
+    message_size: int = _DEFAULT_SIZE,
+    rounds: int = 30,
+    warmup: int = 5,
+) -> LatencyRecorder:
+    """Datagram ping-pong between two UNIX processes (paper Table 1: 325 us).
+
+    Receive sides poll, matching the paper's measurement setup.
+    """
+    node_a, node_b = hosted_a.node, hosted_b.node
+    a_inbox = node_a.runtime.mailbox("lat-a-inbox")
+    b_inbox = node_b.runtime.mailbox("lat-b-inbox")
+    node_a.datagram.bind(11, a_inbox)
+    node_b.datagram.bind(12, b_inbox)
+    payload = b"\xA5" * message_size
+
+    def client_gen(done, recorder):
+        def client() -> Generator:
+            yield from hosted_a.driver.map_cab_memory()
+            packet = _datagram_packet(11, node_b.node_id, 12, payload)
+            for index in range(rounds):
+                start = system.now
+                msg = yield from hosted_a.driver.begin_put(
+                    node_a.datagram.send_mailbox, len(packet)
+                )
+                yield from hosted_a.driver.fill(msg, packet)
+                yield from hosted_a.driver.end_put(node_a.datagram.send_mailbox, msg)
+                reply = yield from hosted_a.driver.begin_get(a_inbox, blocking=False)
+                yield from hosted_a.driver.read(reply)
+                yield from hosted_a.driver.end_get(a_inbox, reply)
+                if index >= warmup:
+                    recorder.record(system.now - start)
+            done.succeed()
+
+        def echo() -> Generator:
+            yield from hosted_b.driver.map_cab_memory()
+            packet = _datagram_packet(12, node_a.node_id, 11, payload)
+            while True:
+                msg = yield from hosted_b.driver.begin_get(b_inbox, blocking=False)
+                yield from hosted_b.driver.read(msg)
+                yield from hosted_b.driver.end_get(b_inbox, msg)
+                out = yield from hosted_b.driver.begin_put(
+                    node_b.datagram.send_mailbox, len(packet)
+                )
+                yield from hosted_b.driver.fill(out, packet)
+                yield from hosted_b.driver.end_put(node_b.datagram.send_mailbox, out)
+
+        hosted_a.host.fork_process(client(), "lat-client")
+        hosted_b.host.fork_process(echo(), "lat-echo")
+
+    return _measure(system, client_gen, rounds, warmup)
+
+
+def host_rmp_rtt(
+    system: NectarSystem,
+    hosted_a: HostedNode,
+    hosted_b: HostedNode,
+    message_size: int = _DEFAULT_SIZE,
+    rounds: int = 30,
+    warmup: int = 5,
+) -> LatencyRecorder:
+    """Reliable-message ping-pong between two host processes."""
+    node_a, node_b = hosted_a.node, hosted_b.node
+    a_inbox = node_a.runtime.mailbox("lat-a-inbox")
+    b_inbox = node_b.runtime.mailbox("lat-b-inbox")
+    chan_ab = node_a.rmp.open(21, node_b.node_id, 22, deliver_mailbox=a_inbox)
+    chan_ba = node_b.rmp.open(22, node_a.node_id, 21, deliver_mailbox=b_inbox)
+    send_a = install_rmp_host_send(node_a, chan_ab)
+    send_b = install_rmp_host_send(node_b, chan_ba, name="rmp-host-send-b")
+    payload = b"\x5A" * message_size
+
+    def client_gen(done, recorder):
+        def client() -> Generator:
+            yield from hosted_a.driver.map_cab_memory()
+            for index in range(rounds):
+                start = system.now
+                msg = yield from hosted_a.driver.begin_put(send_a, len(payload))
+                yield from hosted_a.driver.fill(msg, payload)
+                yield from hosted_a.driver.end_put(send_a, msg)
+                reply = yield from hosted_a.driver.begin_get(a_inbox, blocking=False)
+                yield from hosted_a.driver.read(reply)
+                yield from hosted_a.driver.end_get(a_inbox, reply)
+                if index >= warmup:
+                    recorder.record(system.now - start)
+            done.succeed()
+
+        def echo() -> Generator:
+            yield from hosted_b.driver.map_cab_memory()
+            while True:
+                msg = yield from hosted_b.driver.begin_get(b_inbox, blocking=False)
+                data = yield from hosted_b.driver.read(msg)
+                yield from hosted_b.driver.end_get(b_inbox, msg)
+                out = yield from hosted_b.driver.begin_put(send_b, len(data))
+                yield from hosted_b.driver.fill(out, data)
+                yield from hosted_b.driver.end_put(send_b, out)
+
+        hosted_a.host.fork_process(client(), "lat-client")
+        hosted_b.host.fork_process(echo(), "lat-echo")
+
+    return _measure(system, client_gen, rounds, warmup)
+
+
+def host_reqresp_rtt(
+    system: NectarSystem,
+    hosted_a: HostedNode,
+    hosted_b: HostedNode,
+    message_size: int = _DEFAULT_SIZE,
+    rounds: int = 30,
+    warmup: int = 5,
+) -> LatencyRecorder:
+    """RPC round trip between application tasks on two hosts (Sec. 6 claim:
+    below 500 us)."""
+    node_a, node_b = hosted_a.node, hosted_b.node
+    server_mailbox = node_b.runtime.mailbox("lat-rpc-server")
+    node_b.rpc.serve(31, server_mailbox)
+    payload = b"\x3C" * message_size
+
+    def client_gen(done, recorder):
+        def server() -> Generator:
+            # The server application task runs on host B; the transport
+            # stays on the CAB (protocol-engine usage).
+            yield from hosted_b.driver.map_cab_memory()
+            while True:
+                msg = yield from hosted_b.driver.begin_get(server_mailbox, blocking=False)
+                header = NectarTransportHeader.unpack(
+                    msg.read(0, NectarTransportHeader.SIZE)
+                )
+                body = yield from hosted_b.driver.read(msg, NectarTransportHeader.SIZE)
+                yield from hosted_b.driver.end_get(server_mailbox, msg)
+
+                def respond_on_cab(header=header, body=body) -> Generator:
+                    yield from node_b.rpc.respond(header, body)
+
+                yield from hosted_b.driver.call_cab(respond_on_cab)
+
+        def client() -> Generator:
+            yield from hosted_a.driver.map_cab_memory()
+            port = node_a.rpc.allocate_client_port()
+            for index in range(rounds):
+                start = system.now
+
+                def on_cab() -> Generator:
+                    reply = yield from node_a.rpc.request(
+                        port, node_b.node_id, 31, payload
+                    )
+                    return reply
+
+                yield from hosted_a.driver.call_cab(on_cab)
+                if index >= warmup:
+                    recorder.record(system.now - start)
+            done.succeed()
+
+        hosted_b.host.fork_process(server(), "lat-rpc-server")
+        hosted_a.host.fork_process(client(), "lat-client")
+
+    return _measure(system, client_gen, rounds, warmup)
+
+
+def host_udp_rtt(
+    system: NectarSystem,
+    hosted_a: HostedNode,
+    hosted_b: HostedNode,
+    message_size: int = _DEFAULT_SIZE,
+    rounds: int = 30,
+    warmup: int = 5,
+) -> LatencyRecorder:
+    """UDP ping-pong between two host processes (Table 1's UDP row)."""
+    node_a, node_b = hosted_a.node, hosted_b.node
+    a_inbox = node_a.runtime.mailbox("lat-a-inbox")
+    b_inbox = node_b.runtime.mailbox("lat-b-inbox")
+    node_a.udp.bind(41, a_inbox)
+    node_b.udp.bind(42, b_inbox)
+    send_a = install_udp_host_send(node_a)
+    send_b = install_udp_host_send(node_b)
+    payload = b"\x69" * message_size
+
+    def client_gen(done, recorder):
+        def client() -> Generator:
+            yield from hosted_a.driver.map_cab_memory()
+            request = (
+                struct.pack(_UDP_SEND_FMT, 41, node_b.ip_address, 42) + payload
+            )
+            for index in range(rounds):
+                start = system.now
+                msg = yield from hosted_a.driver.begin_put(send_a, len(request))
+                yield from hosted_a.driver.fill(msg, request)
+                yield from hosted_a.driver.end_put(send_a, msg)
+                reply = yield from hosted_a.driver.begin_get(a_inbox, blocking=False)
+                yield from hosted_a.driver.read(reply)
+                yield from hosted_a.driver.end_get(a_inbox, reply)
+                if index >= warmup:
+                    recorder.record(system.now - start)
+            done.succeed()
+
+        def echo() -> Generator:
+            yield from hosted_b.driver.map_cab_memory()
+            prefix = struct.pack(_UDP_SEND_FMT, 42, node_a.ip_address, 41)
+            while True:
+                msg = yield from hosted_b.driver.begin_get(b_inbox, blocking=False)
+                data = yield from hosted_b.driver.read(msg)
+                yield from hosted_b.driver.end_get(b_inbox, msg)
+                out = yield from hosted_b.driver.begin_put(
+                    send_b, len(prefix) + len(data)
+                )
+                yield from hosted_b.driver.fill(out, prefix + data)
+                yield from hosted_b.driver.end_put(send_b, out)
+
+        hosted_a.host.fork_process(client(), "lat-client")
+        hosted_b.host.fork_process(echo(), "lat-echo")
+
+    return _measure(system, client_gen, rounds, warmup)
+
+
+# ================================================================ Fig. 6 breakdown
+
+
+def fig6_one_way_breakdown(
+    system: NectarSystem,
+    hosted_a: HostedNode,
+    hosted_b: HostedNode,
+    message_size: int = _DEFAULT_SIZE,
+) -> Dict[str, float]:
+    """One-way host-to-host datagram latency, decomposed as in Figure 6.
+
+    Returns microsecond intervals: message creation on the sending host, the
+    sending host-CAB interface (interrupt + thread wakeup), CAB-to-CAB
+    (protocol processing + wire), delivery to the polling receiving host,
+    and the receiving host's read — plus the one-way total.
+    """
+    node_a, node_b = hosted_a.node, hosted_b.node
+    b_inbox = node_b.runtime.mailbox("fig6-inbox")
+    node_b.datagram.bind(66, b_inbox)
+    payload = b"\x77" * message_size
+    recorder = TraceRecorder()
+    system.tracer.sink = recorder
+    tracer = system.tracer
+    done = system.sim.event()
+
+    def sender() -> Generator:
+        yield from hosted_a.driver.map_cab_memory()
+        packet = _datagram_packet(65, node_b.node_id, 66, payload)
+        tracer.emit("host-a", "host_send_start")
+        msg = yield from hosted_a.driver.begin_put(
+            node_a.datagram.send_mailbox, len(packet)
+        )
+        yield from hosted_a.driver.fill(msg, packet)
+        tracer.emit("host-a", "host_message_built")
+        yield from hosted_a.driver.end_put(node_a.datagram.send_mailbox, msg)
+        tracer.emit("host-a", "host_end_put_done")
+
+    def receiver() -> Generator:
+        yield from hosted_b.driver.map_cab_memory()
+        msg = yield from hosted_b.driver.begin_get(b_inbox, blocking=False)
+        tracer.emit("host-b", "host_got_message")
+        yield from hosted_b.driver.read(msg)
+        yield from hosted_b.driver.end_get(b_inbox, msg)
+        tracer.emit("host-b", "host_read_done")
+        done.succeed()
+
+    hosted_b.host.fork_process(receiver(), "fig6-receiver")
+    hosted_a.host.fork_process(sender(), "fig6-sender")
+    system.run_until(done, limit=_LIMIT)
+    system.tracer.sink = None
+
+    def us_between(a: str, b: str) -> float:
+        return recorder.interval_ns(a, b) / 1000.0
+
+    breakdown = {
+        "host message creation": us_between("host_send_start", "host_end_put_done"),
+        "host-CAB interface (send)": us_between("host_end_put_done", "cab_send_start"),
+        "CAB-to-CAB (protocols + wire)": us_between("cab_send_start", "cab_deliver"),
+        "CAB-host interface (receive)": us_between("cab_deliver", "host_got_message"),
+        "host message read": us_between("host_got_message", "host_read_done"),
+        "total one-way": us_between("host_send_start", "host_read_done"),
+    }
+    return breakdown

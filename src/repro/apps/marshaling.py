@@ -1,0 +1,202 @@
+"""Presentation-layer offload (paper Sec. 5.3, future work).
+
+"Research is under way to use the CAB to offload presentation layer
+functionality, such as the marshaling and unmarshaling of data required by
+remote procedure call systems" (citing Siegel & Cooper's OSI presentation
+work).  This module implements that experiment:
+
+* a real XDR-style codec (:func:`marshal` / :func:`unmarshal`) for typed
+  values — integers, byte strings, booleans, and lists;
+* cost charging for running the codec on the *host* CPU vs on the *CAB*
+  CPU (per-byte costs from the cost model);
+* :func:`compare_marshal_placement`, a harness measuring an RPC whose
+  arguments are marshaled on the host against one whose marshaling is
+  offloaded to the CAB — the host ships the raw argument bytes across the
+  mapped memory and the CAB does the presentation-layer work.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List, Union
+
+from repro.cab.cpu import Compute
+from repro.errors import ProtocolError
+from repro.host.machine import HostedNode
+from repro.model.costs import CostModel
+from repro.nectarine.api import CabNectarine
+from repro.nectarine.naming import NameService
+from repro.system import NectarSystem
+from repro.units import seconds
+
+__all__ = [
+    "compare_marshal_placement",
+    "marshal",
+    "marshal_cost_ns",
+    "unmarshal",
+]
+
+Value = Union[int, bytes, bool, list]
+
+_TAG_INT = 0x01
+_TAG_BYTES = 0x02
+_TAG_BOOL = 0x03
+_TAG_LIST = 0x04
+
+
+def marshal(values: List[Value]) -> bytes:
+    """Encode a list of typed values (XDR-style: tagged, 4-byte aligned)."""
+    out = bytearray()
+    out.extend(struct.pack(">I", len(values)))
+    for value in values:
+        _marshal_one(out, value)
+    return bytes(out)
+
+
+def _marshal_one(out: bytearray, value: Value) -> None:
+    # bool before int: bool is a subclass of int in Python.
+    if isinstance(value, bool):
+        out.append(_TAG_BOOL)
+        out.extend(struct.pack(">I", 1 if value else 0))
+    elif isinstance(value, int):
+        if not -(2**63) <= value < 2**63:
+            raise ProtocolError(f"integer {value} exceeds 64 bits")
+        out.append(_TAG_INT)
+        out.extend(struct.pack(">q", value))
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES)
+        out.extend(struct.pack(">I", len(value)))
+        out.extend(value)
+        out.extend(b"\x00" * (-len(value) % 4))  # pad to 4-byte boundary
+    elif isinstance(value, list):
+        out.append(_TAG_LIST)
+        out.extend(struct.pack(">I", len(value)))
+        for item in value:
+            _marshal_one(out, item)
+    else:
+        raise ProtocolError(f"cannot marshal {type(value).__name__}")
+
+
+def unmarshal(data: bytes) -> List[Value]:
+    """Decode a :func:`marshal` blob; raises ProtocolError on malformation."""
+    if len(data) < 4:
+        raise ProtocolError("short marshal blob")
+    (count,) = struct.unpack(">I", data[:4])
+    values: List[Value] = []
+    offset = 4
+    for _ in range(count):
+        value, offset = _unmarshal_one(data, offset)
+        values.append(value)
+    if offset != len(data):
+        raise ProtocolError(f"{len(data) - offset} trailing bytes after unmarshal")
+    return values
+
+
+def _unmarshal_one(data: bytes, offset: int) -> tuple[Value, int]:
+    if offset >= len(data):
+        raise ProtocolError("truncated marshal blob")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_INT:
+        if offset + 8 > len(data):
+            raise ProtocolError("truncated integer")
+        (value,) = struct.unpack(">q", data[offset : offset + 8])
+        return value, offset + 8
+    if tag == _TAG_BOOL:
+        if offset + 4 > len(data):
+            raise ProtocolError("truncated boolean")
+        (raw,) = struct.unpack(">I", data[offset : offset + 4])
+        return bool(raw), offset + 4
+    if tag == _TAG_BYTES:
+        if offset + 4 > len(data):
+            raise ProtocolError("truncated byte-string length")
+        (length,) = struct.unpack(">I", data[offset : offset + 4])
+        offset += 4
+        padded = length + (-length % 4)
+        if offset + padded > len(data):
+            raise ProtocolError("truncated byte string")
+        return bytes(data[offset : offset + length]), offset + padded
+    if tag == _TAG_LIST:
+        if offset + 4 > len(data):
+            raise ProtocolError("truncated list length")
+        (length,) = struct.unpack(">I", data[offset : offset + 4])
+        offset += 4
+        items: List[Value] = []
+        for _ in range(length):
+            item, offset = _unmarshal_one(data, offset)
+            items.append(item)
+        return items, offset
+    raise ProtocolError(f"unknown marshal tag 0x{tag:02x}")
+
+
+def marshal_cost_ns(nbytes: int, per_byte_ns: int) -> int:
+    """Presentation-layer CPU cost: tag walking + byte shuffling."""
+    return nbytes * per_byte_ns
+
+
+def marshal_on_host(values: List[Value], costs: CostModel) -> Generator:
+    """Host-context: run the codec on the host CPU.  Returns the blob."""
+    blob = marshal(values)
+    yield Compute(marshal_cost_ns(len(blob), costs.host_memcpy_ns_per_byte * 3))
+    return blob
+
+
+def marshal_on_cab(values: List[Value], costs: CostModel) -> Generator:
+    """CAB-context: run the codec on the (slower) CAB CPU."""
+    blob = marshal(values)
+    yield Compute(marshal_cost_ns(len(blob), costs.cab_memcpy_ns_per_byte * 3))
+    return blob
+
+
+def compare_marshal_placement(
+    values: List[Value], rounds: int = 10
+) -> dict:
+    """Measure host-marshaled vs CAB-marshaled RPC (us per call).
+
+    Host mode: the host runs the codec, then ships the (larger) marshaled
+    blob across the VME bus.  Offload mode: the host ships the raw argument
+    bytes and the CAB runs the codec before transmitting.  The offload wins
+    when the host is busy or the marshaled form is much bigger than the
+    native one — the effect the paper's presentation-layer project was
+    after; with an idle host the two are close.
+    """
+    results = {}
+    for mode in ("host", "cab"):
+        system = NectarSystem()
+        hub = system.add_hub("hub0")
+        node_a = system.add_node("cab-a", hub, 0)
+        node_b = system.add_node("cab-b", hub, 1)
+        hosted_a = HostedNode(system, node_a)
+        names = NameService()
+        server = CabNectarine(node_b, names)
+        server.serve("echo", lambda request: request)
+        done = system.sim.event()
+        costs = system.costs
+
+        def client() -> Generator:
+            yield from hosted_a.driver.map_cab_memory()
+            start = system.now
+            for _ in range(rounds):
+                if mode == "host":
+                    blob = yield from marshal_on_host(values, costs)
+
+                    def on_cab(blob=blob) -> Generator:
+                        app = CabNectarine(node_a, names)
+                        reply = yield from app.call("echo", blob)
+                        return reply
+
+                    reply = yield from hosted_a.driver.call_cab(on_cab)
+                else:
+                    def on_cab() -> Generator:
+                        blob = yield from marshal_on_cab(values, costs)
+                        app = CabNectarine(node_a, names)
+                        reply = yield from app.call("echo", blob)
+                        return reply
+
+                    reply = yield from hosted_a.driver.call_cab(on_cab)
+                assert unmarshal(reply) == values
+            done.succeed((system.now - start) / rounds / 1000.0)
+
+        hosted_a.host.fork_process(client(), "client")
+        results[f"{mode}_us"] = system.run_until(done, limit=seconds(60))
+    return results

@@ -1,0 +1,102 @@
+"""Parallel-processing paradigms on the CABs (paper Sec. 5.3).
+
+"Common paradigms for parallel processing, such as divide-and-conquer and
+task-queue models, have been implemented on Nectar, using one or more CABs
+to divide the labor and gather the results" — the usage pattern behind
+Noodles (solid modeling), COSMOS (circuit simulation), and Paradigm
+(distributed vision).
+
+These helpers run on the CAB side through Nectarine:
+
+* :class:`TaskQueue` — a coordinator thread feeds work items to a set of
+  worker *services* (RPC endpoints on other CABs), keeping a bounded number
+  of requests outstanding per worker and collecting results in input order.
+* :func:`divide_and_conquer` — split one input among the workers, issue the
+  parts concurrently, and combine the replies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.errors import NectarError
+from repro.nectarine.api import CabNectarine
+
+__all__ = ["TaskQueue", "divide_and_conquer"]
+
+
+class TaskQueue:
+    """Distribute work items over worker services, gather ordered results."""
+
+    def __init__(self, app: CabNectarine, worker_services: Sequence[str]):
+        if not worker_services:
+            raise NectarError("task queue needs at least one worker service")
+        self.app = app
+        self.worker_services = list(worker_services)
+        self.completed = 0
+
+    def run(self, items: Sequence[bytes]) -> Generator:
+        """Process every item; returns results in input order.
+
+        One feeder thread per worker pulls from a shared queue — the classic
+        task-queue model, so faster workers naturally take more items.
+        """
+        runtime = self.app.node.runtime
+        pending = list(enumerate(items))
+        results: List[Optional[bytes]] = [None] * len(items)
+        done_cond = runtime.condition("taskq-done")
+        done_mutex = runtime.mutex("taskq-done")
+        state = {"remaining": len(items)}
+
+        def feeder(service: str) -> Generator:
+            while pending:
+                index, item = pending.pop(0)
+                reply = yield from self.app.call(service, item)
+                results[index] = reply
+                self.completed += 1
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    yield from runtime.ops.signal(done_cond)
+
+        for service in self.worker_services:
+            runtime.fork_application(feeder(service), f"taskq-{service}")
+
+        yield from runtime.ops.lock(done_mutex)
+        while state["remaining"] > 0:
+            yield from runtime.ops.wait(done_cond, done_mutex)
+        yield from runtime.ops.unlock(done_mutex)
+        return results  # type: ignore[return-value]
+
+
+def divide_and_conquer(
+    app: CabNectarine,
+    worker_services: Sequence[str],
+    parts: Sequence[bytes],
+    combine: Callable[[List[bytes]], bytes],
+) -> Generator:
+    """Issue one part per worker concurrently and combine the replies.
+
+    ``parts`` must have the same length as ``worker_services``; the caller
+    chooses the split (that *is* the divide step).
+    """
+    if len(parts) != len(worker_services):
+        raise NectarError(
+            f"{len(parts)} parts for {len(worker_services)} workers"
+        )
+    runtime = app.node.runtime
+    replies: List[Optional[bytes]] = [None] * len(parts)
+    tcbs = []
+
+    def call_one(index: int, service: str, part: bytes) -> Generator:
+        reply = yield from app.call(service, part)
+        replies[index] = reply
+
+    for index, (service, part) in enumerate(zip(worker_services, parts)):
+        tcbs.append(
+            runtime.fork_application(
+                call_one(index, service, part), f"dnc-{service}"
+            )
+        )
+    for tcb in tcbs:
+        yield from runtime.ops.join(tcb)
+    return combine(replies)  # type: ignore[arg-type]

@@ -1,0 +1,167 @@
+"""Synthetic workload generators: background traffic and loaded probes.
+
+The paper's evaluation uses unloaded microbenchmarks; these generators add
+the other classic measurement — behaviour *under load* — which the deployed
+26-host system would have seen in daily use.  All randomness is seeded, so
+runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Generator, Optional
+
+from repro.model.stats import LatencyRecorder
+from repro.system import NectarNode, NectarSystem
+from repro.units import seconds, us
+
+__all__ = ["BurstSource", "PoissonDatagramSource", "latency_under_load"]
+
+
+class PoissonDatagramSource:
+    """Sends datagrams with exponential inter-arrival times."""
+
+    def __init__(
+        self,
+        node: NectarNode,
+        dst_node_id: int,
+        dst_port: int,
+        rate_pps: float,
+        payload_bytes: int = 256,
+        seed: int = 1,
+        src_port: int = 0x7000,
+    ):
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps}")
+        self.node = node
+        self.dst_node_id = dst_node_id
+        self.dst_port = dst_port
+        self.rate_pps = rate_pps
+        self.payload = b"\x55" * payload_bytes
+        self.src_port = src_port
+        self._rng = random.Random(seed)
+        self.sent = 0
+        self._running = True
+
+    def stop(self) -> None:
+        """Stop after the current send completes."""
+        self._running = False
+
+    def run(self) -> Generator:
+        """The source body: fork this as a CAB thread."""
+        mean_gap_ns = 1e9 / self.rate_pps
+        while self._running:
+            gap = -mean_gap_ns * math.log(1.0 - self._rng.random())
+            yield from self.node.runtime.ops.sleep(max(1_000, int(gap)))
+            if not self._running:
+                return
+            yield from self.node.datagram.send(
+                self.src_port, self.dst_node_id, self.dst_port, self.payload
+            )
+            self.sent += 1
+
+
+class BurstSource:
+    """On/off traffic: bursts of back-to-back datagrams, then silence."""
+
+    def __init__(
+        self,
+        node: NectarNode,
+        dst_node_id: int,
+        dst_port: int,
+        burst_length: int = 10,
+        gap_ns: int = us(500),
+        payload_bytes: int = 1024,
+        src_port: int = 0x7001,
+    ):
+        self.node = node
+        self.dst_node_id = dst_node_id
+        self.dst_port = dst_port
+        self.burst_length = burst_length
+        self.gap_ns = gap_ns
+        self.payload = b"\xAA" * payload_bytes
+        self.src_port = src_port
+        self.sent = 0
+        self._running = True
+
+    def stop(self) -> None:
+        """Stop after the current burst completes."""
+        self._running = False
+
+    def run(self) -> Generator:
+        """The source body: fork this as a CAB thread."""
+        while self._running:
+            for _ in range(self.burst_length):
+                yield from self.node.datagram.send(
+                    self.src_port, self.dst_node_id, self.dst_port, self.payload
+                )
+                self.sent += 1
+            yield from self.node.runtime.ops.sleep(self.gap_ns)
+
+
+def latency_under_load(
+    system: NectarSystem,
+    node_a: NectarNode,
+    node_b: NectarNode,
+    background_pps: float,
+    rounds: int = 20,
+    warmup: int = 3,
+    message_size: int = 32,
+    seed: int = 9,
+) -> LatencyRecorder:
+    """Datagram RTT while Poisson cross-traffic shares the same path.
+
+    The background source on node A also targets node B, so probe packets
+    queue behind it at A's CPU, A's output FIFO, and B's input port — the
+    full contention story.
+    """
+    sink = node_b.runtime.mailbox("load-sink")
+    node_b.datagram.bind(0x7100, sink)
+    source: Optional[PoissonDatagramSource] = None
+    if background_pps > 0:
+        source = PoissonDatagramSource(
+            node_a, node_b.node_id, 0x7100, background_pps, seed=seed
+        )
+        node_a.runtime.fork_application(source.run(), "bg-source")
+        node_b.runtime.fork_system(_sink_drain(sink), "bg-sink")
+
+    a_inbox = node_a.runtime.mailbox("probe-a")
+    b_inbox = node_b.runtime.mailbox("probe-b")
+    node_a.datagram.bind(0x7200, a_inbox)
+    node_b.datagram.bind(0x7201, b_inbox)
+    recorder = LatencyRecorder()
+    done = system.sim.event()
+    payload = b"\x11" * message_size
+
+    def probe() -> Generator:
+        for index in range(rounds):
+            start = system.now
+            yield from node_a.datagram.send(0x7200, node_b.node_id, 0x7201, payload)
+            msg = yield from a_inbox.begin_get()
+            yield from a_inbox.end_get(msg)
+            if index >= warmup:
+                recorder.record(system.now - start)
+            # Pace probes so they sample independent congestion states.
+            yield from node_a.runtime.ops.sleep(us(300))
+        if source is not None:
+            source.stop()
+        done.succeed()
+
+    def echo() -> Generator:
+        while True:
+            msg = yield from b_inbox.begin_get()
+            data = msg.read()
+            yield from b_inbox.end_get(msg)
+            yield from node_b.datagram.send(0x7201, node_a.node_id, 0x7200, data)
+
+    node_a.runtime.fork_application(probe(), "probe")
+    node_b.runtime.fork_system(echo(), "probe-echo")
+    system.run_until(done, limit=seconds(120))
+    return recorder
+
+
+def _sink_drain(sink) -> Generator:
+    while True:
+        msg = yield from sink.begin_get()
+        yield from sink.end_get(msg)

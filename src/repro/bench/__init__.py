@@ -1,0 +1,5 @@
+"""Experiment drivers that regenerate every table and figure of the paper."""
+
+from repro.bench.harness import format_table, two_hosted_nodes, two_nodes
+
+__all__ = ["format_table", "two_hosted_nodes", "two_nodes"]

@@ -1,0 +1,68 @@
+"""Figure 6: one-way host-to-host datagram latency breakdown.
+
+The paper's figure decomposes a ~163 us one-way datagram send between two
+host processes: about 40% in the host-CAB interface at sender and receiver,
+about 40% in CAB-to-CAB time, and the remaining ~20% on the hosts creating
+and reading the message.  More time is spent on the sending side, where the
+CAB must be interrupted and a CAB thread scheduled; the receiving host
+polls, so no interrupt or context switch is needed there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.latency import fig6_one_way_breakdown
+from repro.bench.harness import format_table, two_hosted_nodes
+
+__all__ = ["main", "run", "shares"]
+
+PAPER_TOTAL_US = 163.0
+PAPER_SHARES = {
+    "host-CAB interface": 0.40,
+    "CAB-to-CAB": 0.40,
+    "host create/read": 0.20,
+}
+
+
+def run(message_size: int = 32) -> Dict[str, float]:
+    """Measure the Fig. 6 one-way breakdown (us per component)."""
+    system, hosted_a, hosted_b = two_hosted_nodes()
+    return fig6_one_way_breakdown(system, hosted_a, hosted_b, message_size)
+
+
+def shares(breakdown: Dict[str, float]) -> Dict[str, float]:
+    """Collapse the component intervals into the paper's three shares."""
+    total = breakdown["total one-way"]
+    interface = (
+        breakdown["host-CAB interface (send)"]
+        + breakdown["CAB-host interface (receive)"]
+    )
+    cab_to_cab = breakdown["CAB-to-CAB (protocols + wire)"]
+    host_ends = breakdown["host message creation"] + breakdown["host message read"]
+    return {
+        "host-CAB interface": interface / total,
+        "CAB-to-CAB": cab_to_cab / total,
+        "host create/read": host_ends / total,
+    }
+
+
+def main() -> Dict[str, float]:
+    """Run and print the Fig. 6 breakdown and shares."""
+    breakdown = run()
+    rows = [(name, f"{value:.1f}") for name, value in breakdown.items()]
+    print(format_table("Figure 6: one-way datagram latency breakdown (us)", ["component", "us"], rows))
+    print()
+    fractions = shares(breakdown)
+    rows = [
+        (name, f"{fraction * 100:.0f}%", f"{PAPER_SHARES[name] * 100:.0f}%")
+        for name, fraction in fractions.items()
+    ]
+    print(format_table("Shares vs paper", ["component", "measured", "paper"], rows))
+    print(f"\npaper one-way total: {PAPER_TOTAL_US} us; "
+          f"measured: {breakdown['total one-way']:.1f} us")
+    return breakdown
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Figure 7: CAB-to-CAB throughput vs message size.
+
+Three curves, 16 B to 8 KB messages: the Nectar reliable message protocol
+(RMP, no software checksum — reaches ~90 Mbit/s of the 100 Mbit/s fiber),
+TCP/IP (lower, "mostly due to the cost of doing TCP checksums in
+software"), and TCP without checksums (almost as fast as RMP).  For small
+packets the per-packet overhead dominates and throughput doubles when the
+packet size doubles; for large packets transmission time dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.throughput import cab_rmp_throughput, cab_tcp_throughput
+from repro.bench.harness import format_table, two_nodes
+
+__all__ = ["Fig7Row", "main", "run", "SIZES"]
+
+SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Paper reference points (Mbit/s) at the largest size.
+PAPER_RMP_8K = 90.0
+
+
+@dataclass
+class Fig7Row:
+    size: int
+    rmp_mbps: float
+    tcp_mbps: float
+    tcp_nochecksum_mbps: float
+    #: Sender-CAB CPU busy fraction during the TCP run: the evidence that
+    #: the software checksum makes TCP CPU-bound while RMP is wire-bound.
+    tcp_cpu_util: float = 0.0
+    rmp_cpu_util: float = 0.0
+
+
+def run(sizes=SIZES, count: int = 40) -> list[Fig7Row]:
+    """Sweep message sizes for all three Fig. 7 curves."""
+    rows = []
+    for size in sizes:
+        system, node_a, node_b = two_nodes()
+        rmp = cab_rmp_throughput(system, node_a, node_b, size, count=count)
+        rmp_util = system.utilization()[node_a.name]
+        system, node_a, node_b = two_nodes()
+        tcp = cab_tcp_throughput(system, node_a, node_b, size, count=count)
+        tcp_util = system.utilization()[node_a.name]
+        system, node_a, node_b = two_nodes(tcp_checksums=False)
+        tcp_nock = cab_tcp_throughput(system, node_a, node_b, size, count=count)
+        rows.append(
+            Fig7Row(
+                size=size,
+                rmp_mbps=round(rmp, 2),
+                tcp_mbps=round(tcp, 2),
+                tcp_nochecksum_mbps=round(tcp_nock, 2),
+                tcp_cpu_util=round(tcp_util, 3),
+                rmp_cpu_util=round(rmp_util, 3),
+            )
+        )
+    return rows
+
+
+def render(rows: list[Fig7Row]) -> str:
+    """Format the rows as the paper-style table."""
+    return format_table(
+        "Figure 7: CAB-to-CAB throughput (Mbit/s) vs message size",
+        ["size (B)", "RMP", "TCP/IP", "TCP w/o checksum", "TCP cpu", "RMP cpu"],
+        [
+            (
+                r.size,
+                r.rmp_mbps,
+                r.tcp_mbps,
+                r.tcp_nochecksum_mbps,
+                f"{r.tcp_cpu_util * 100:.0f}%",
+                f"{r.rmp_cpu_util * 100:.0f}%",
+            )
+            for r in rows
+        ],
+    )
+
+
+def main(sizes=SIZES, count: int = 40) -> list[Fig7Row]:
+    """Run, print, and chart Figure 7."""
+    from repro.bench.plot import render_curves
+
+    rows = run(sizes, count)
+    print(render(rows))
+    print()
+    print(
+        render_curves(
+            "Figure 7 (rendered)",
+            {
+                "RMP": [(r.size, r.rmp_mbps) for r in rows],
+                "TCP/IP": [(r.size, r.tcp_mbps) for r in rows],
+                "TCP w/o checksum": [(r.size, r.tcp_nochecksum_mbps) for r in rows],
+            },
+        )
+    )
+    print(f"\npaper: RMP ~{PAPER_RMP_8K} Mbit/s at 8 KB; TCP w/o checksum ~RMP; "
+          f"TCP/IP below both (software checksum)")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

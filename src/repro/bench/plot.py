@@ -1,0 +1,106 @@
+"""ASCII rendering of the paper's figures.
+
+Figures 7 and 8 are log-x throughput curves; this module renders the
+measured series as terminal plots so the *shape* comparison with the paper
+is visual, not just tabular.  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["render_curves"]
+
+_MARKERS = "o*x+#@%"
+
+
+def render_curves(
+    title: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "message size (B)",
+    y_label: str = "Mbit/s",
+    log_x: bool = True,
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    ``series`` maps a curve name to its sorted points.  X may be log-scaled
+    (the paper's size axes are powers of two).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    points = [point for curve in series.values() for point in curve]
+    if not points:
+        raise ValueError("series are empty")
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_hi = max(ys) * 1.05 or 1.0
+
+    def x_pos(x: float) -> int:
+        if x_hi == x_lo:
+            return 0
+        if log_x:
+            if x_lo <= 0:
+                raise ValueError("log-x plot needs positive x values")
+            span = math.log(x_hi) - math.log(x_lo)
+            frac = (math.log(x) - math.log(x_lo)) / span if span else 0.0
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, int(round(frac * (width - 1))))
+
+    def y_pos(y: float) -> int:
+        frac = y / y_hi
+        return min(height - 1, int(round(frac * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        previous = None
+        for x, y in curve:
+            col, row = x_pos(x), y_pos(y)
+            grid[row][col] = marker
+            if previous is not None:
+                # Sparse interpolation so the curve reads as a line.
+                prev_col, prev_row = previous
+                steps = max(abs(col - prev_col), abs(row - prev_row))
+                for step in range(1, steps):
+                    ic = prev_col + (col - prev_col) * step // steps
+                    ir = prev_row + (row - prev_row) * step // steps
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            previous = (col, row)
+
+    lines = [title, ""]
+    axis_width = len(f"{y_hi:.0f}")
+    for row in range(height - 1, -1, -1):
+        if row == height - 1:
+            label = f"{y_hi:.0f}".rjust(axis_width)
+        elif row == 0:
+            label = "0".rjust(axis_width)
+        elif row == height // 2:
+            label = f"{y_hi / 2:.0f}".rjust(axis_width)
+        else:
+            label = " " * axis_width
+        lines.append(f"{label} |" + "".join(grid[row]))
+    lines.append(" " * axis_width + "-+" + "-" * width)
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    middle = x_label + (" [log]" if log_x else "")
+    padding = max(1, width - len(left) - len(right) - len(middle))
+    lines.append(
+        " " * (axis_width + 2)
+        + left
+        + " " * (padding // 2)
+        + middle
+        + " " * (padding - padding // 2)
+        + right
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("")
+    lines.append(f"{y_label}:  {legend}")
+    return "\n".join(lines)

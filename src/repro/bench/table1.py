@@ -1,0 +1,95 @@
+"""Table 1: round-trip latency, host-to-host and CAB-to-CAB.
+
+The paper reports round-trip times for UDP and the Nectar-specific
+protocols between two host processes and between two CAB threads; the one
+row fully legible in the surviving scan is the datagram protocol at
+325 us (host-to-host) and 179 us (CAB-to-CAB), plus the Sec. 6 claim that
+an RPC between application tasks on two hosts completes in under 500 us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps import latency as lat
+from repro.bench.harness import format_table, two_hosted_nodes, two_nodes
+
+__all__ = ["Table1Row", "run", "main"]
+
+#: Paper reference values (us); None where the scan is illegible.
+PAPER_HOST_RTT = {"datagram": 325.0, "rmp": None, "request-response": None, "udp": None}
+PAPER_CAB_RTT = {"datagram": 179.0, "rmp": None, "request-response": None, "udp": None}
+
+
+@dataclass
+class Table1Row:
+    protocol: str
+    host_rtt_us: float
+    cab_rtt_us: float
+    paper_host_us: Optional[float]
+    paper_cab_us: Optional[float]
+
+
+_HOST_HARNESSES = {
+    "datagram": lat.host_datagram_rtt,
+    "rmp": lat.host_rmp_rtt,
+    "request-response": lat.host_reqresp_rtt,
+    "udp": lat.host_udp_rtt,
+}
+_CAB_HARNESSES = {
+    "datagram": lat.cab_datagram_rtt,
+    "rmp": lat.cab_rmp_rtt,
+    "request-response": lat.cab_reqresp_rtt,
+    "udp": lat.cab_udp_rtt,
+}
+
+
+def run(message_size: int = 32, rounds: int = 30, warmup: int = 5) -> list[Table1Row]:
+    """Measure every Table 1 cell; returns one row per protocol."""
+    rows = []
+    for protocol in ("datagram", "rmp", "request-response", "udp"):
+        system, hosted_a, hosted_b = two_hosted_nodes()
+        host_rec = _HOST_HARNESSES[protocol](
+            system, hosted_a, hosted_b, message_size, rounds, warmup
+        )
+        system, node_a, node_b = two_nodes()
+        cab_rec = _CAB_HARNESSES[protocol](
+            system, node_a, node_b, message_size, rounds, warmup
+        )
+        rows.append(
+            Table1Row(
+                protocol=protocol,
+                host_rtt_us=round(host_rec.mean_us, 1),
+                cab_rtt_us=round(cab_rec.mean_us, 1),
+                paper_host_us=PAPER_HOST_RTT[protocol],
+                paper_cab_us=PAPER_CAB_RTT[protocol],
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table1Row]) -> str:
+    """Format the rows as the paper-style table."""
+    def fmt(value):
+        return "n/a" if value is None else value
+
+    return format_table(
+        "Table 1: round-trip latency (us), 32-byte messages",
+        ["protocol", "host-host", "CAB-CAB", "paper host-host", "paper CAB-CAB"],
+        [
+            (r.protocol, r.host_rtt_us, r.cab_rtt_us, fmt(r.paper_host_us), fmt(r.paper_cab_us))
+            for r in rows
+        ],
+    )
+
+
+def main() -> list[Table1Row]:
+    """Run and print Table 1."""
+    rows = run()
+    print(render(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""The CAB (Communication Accelerator Board) and its CPU execution engine."""
+
+from repro.cab.cpu import (
+    CPU,
+    Compute,
+    Block,
+    SetMask,
+    WaitToken,
+    YieldCPU,
+    PRIORITY_APPLICATION,
+    PRIORITY_SYSTEM,
+)
+from repro.cab.board import CAB
+
+__all__ = [
+    "CAB",
+    "CPU",
+    "Block",
+    "Compute",
+    "PRIORITY_APPLICATION",
+    "PRIORITY_SYSTEM",
+    "SetMask",
+    "WaitToken",
+    "YieldCPU",
+]

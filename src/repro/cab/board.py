@@ -1,0 +1,236 @@
+"""The CAB board: CPU, memories, FIFOs, DMA engines, fiber endpoints.
+
+Mirrors the block diagram of paper Sec. 2.2:
+
+* a general-purpose RISC CPU (16.5 MHz SPARC) — :class:`repro.cab.cpu.CPU`;
+* program memory (128 KB PROM + 512 KB RAM) and data memory (1 MB), with
+  1 KB-page protection domains;
+* input/output FIFOs buffering the fibers;
+* a DMA controller managing simultaneous fiber<->memory transfers with
+  low-level flow control, leaving the CPU free for protocol work;
+* hardware CRC for incoming and outgoing data (checked at end of frame);
+* a VME interface to the host (attached later by the host model).
+
+The receive path reproduces the paper's pipeline (Sec. 4.1): when a packet
+starts arriving, the board posts a *start-of-packet* interrupt; the datalink
+handler (installed via :attr:`CAB.rx_dispatch`) inspects the header and
+programs the receive DMA toward a mailbox buffer; the DMA issues a
+*start-of-data* upcall once the protocol header is in memory (useful work
+overlaps the arrival of the body) and an *end-of-packet* interrupt when the
+whole frame has landed and the CRC has been checked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.cab.cpu import CPU, Compute, PRIORITY_SYSTEM
+from repro.errors import CABError
+from repro.hw.fiber import FiberIn, FiberOut, Frame
+from repro.hw.memory import MemoryRegion
+from repro.model.costs import CostModel
+from repro.model.stats import StatsRegistry
+from repro.sim.core import Simulator
+from repro.sim.primitives import Store
+from repro.units import KB, MB
+
+__all__ = ["CAB"]
+
+PROGRAM_MEMORY_BYTES = 640 * KB  # 128 KB PROM + 512 KB RAM [paper Sec. 2.2]
+DATA_MEMORY_BYTES = 1 * MB  # [paper Sec. 2.2]
+
+
+class CAB:
+    """One Communication Accelerator Board."""
+
+    def __init__(self, sim: Simulator, costs: CostModel, name: str):
+        self.sim = sim
+        self.costs = costs
+        self.name = name
+        self.stats = StatsRegistry()
+
+        self.cpu = CPU(
+            sim,
+            name=f"{name}.cpu",
+            context_switch_ns=costs.cab_context_switch_ns,
+            dispatch_ns=costs.cab_dispatch_ns,
+            interrupt_entry_ns=costs.cab_interrupt_entry_ns,
+            interrupt_exit_ns=costs.cab_interrupt_exit_ns,
+        )
+        self.program_mem = MemoryRegion(f"{name}.pmem", PROGRAM_MEMORY_BYTES)
+        self.data_mem = MemoryRegion(f"{name}.dmem", DATA_MEMORY_BYTES)
+
+        self.fiber_in = FiberIn(sim, costs.cab_fifo_bytes, name=f"{name}.fiber-in")
+        self.fiber_out = FiberOut(sim, costs.cab_fifo_bytes, name=f"{name}.fiber-out")
+
+        #: Installed by the datalink layer: an interrupt-handler generator
+        #: factory invoked at start-of-packet with the arriving frame.  It
+        #: must start a receive DMA (or discard the frame) before returning.
+        self.rx_dispatch: Optional[Callable[[Frame], Generator]] = None
+
+        self._tx_queue: Store = Store(sim, name=f"{name}.txq")
+        self._rx_done = None
+        self._rx_started = False
+        sim.process(self._tx_dma_loop(), name=f"{name}.tx-dma")
+        sim.process(self._rx_loop(), name=f"{name}.rx-ctl")
+
+    # ------------------------------------------------------------- transmit
+
+    def send_frame(self, frame: Frame) -> Generator:
+        """Thread-context generator: seal the frame and hand it to TX DMA.
+
+        Returns immediately after programming the DMA descriptor; the DMA
+        streams the frame out while the CPU goes on to other work.  If the
+        frame has ``on_dma_done``, a TX-complete interrupt invokes it once
+        the frame has fully left CAB memory.
+        """
+        frame.created_ns = frame.created_ns or self.sim.now
+        frame.seal()
+        yield Compute(self.costs.cab_dma_setup_ns)
+        self._tx_queue.put(frame)
+        self.stats.add("frames_sent")
+        self.stats.add("bytes_sent", frame.size)
+
+    def _tx_dma_loop(self) -> Generator:
+        fifo = self.fiber_out.fifo
+        dma_ns = self.costs.cab_dma_ns_per_byte
+        while True:
+            frame: Frame = yield self._tx_queue.get()
+            for chunk in frame.chunks():
+                yield fifo.wait_space(chunk.length)
+                yield self.sim.timeout(chunk.length * dma_ns)
+                fifo.push(chunk)
+            if frame.on_dma_done is not None:
+                self.cpu.post_interrupt(
+                    self._tx_done_irq(frame), name="tx-complete"
+                )
+
+    def _tx_done_irq(self, frame: Frame) -> Generator:
+        yield Compute(1_000)  # handler body: acknowledge the DMA channel
+        callback = frame.on_dma_done
+        if callback is not None:
+            frame.on_dma_done = None
+            callback(frame)
+
+    # -------------------------------------------------------------- receive
+
+    def _rx_loop(self) -> Generator:
+        """Serialize frame receptions: one start-of-packet interrupt each."""
+        fifo = self.fiber_in.fifo
+        while True:
+            yield fifo.wait_data()
+            frame: Frame = fifo.peek().frame
+            done = self.sim.event(name=f"{self.name}.rx-done")
+            self._rx_done = done
+            self._rx_started = False
+            self.cpu.post_interrupt(self._sop_irq(frame), name="start-of-packet")
+            yield done
+
+    def _sop_irq(self, frame: Frame) -> Generator:
+        self.stats.add("frames_received")
+        dispatch = self.rx_dispatch
+        if dispatch is None:
+            self.discard_rx(frame)
+            return
+            yield  # pragma: no cover - makes this a generator
+        yield from dispatch(frame)
+        if not self._rx_started:
+            raise CABError(
+                f"{self.name}: rx dispatch finished without starting a "
+                f"receive DMA or discarding frame #{frame.seqno}"
+            )
+
+    def start_rx_dma(
+        self,
+        frame: Frame,
+        region: MemoryRegion,
+        addr: int,
+        header_bytes: int = 0,
+        on_header: Optional[Callable[[Frame], Generator]] = None,
+        on_complete: Optional[Callable[[Frame, bool], Generator]] = None,
+    ) -> None:
+        """Program the receive DMA to land ``frame`` at ``region[addr:]``.
+
+        ``on_header`` is posted as an interrupt once ``header_bytes`` of the
+        frame are in memory (the start-of-data upcall); ``on_complete`` is
+        posted when the whole frame has landed, with the hardware CRC verdict.
+        Callable from interrupt or thread context (it only starts a process).
+        """
+        if self._rx_started:
+            raise CABError(f"{self.name}: receive DMA already active")
+        self._rx_started = True
+        self.sim.process(
+            self._rx_dma(frame, region, addr, header_bytes, on_header, on_complete),
+            name=f"{self.name}.rx-dma",
+        )
+
+    def discard_rx(self, frame: Frame) -> None:
+        """Sink an unwanted frame (no buffer available, unknown type...)."""
+        if self._rx_started:
+            raise CABError(f"{self.name}: receive DMA already active")
+        self._rx_started = True
+        self.stats.add("frames_discarded")
+        self.sim.process(self._rx_sink(frame), name=f"{self.name}.rx-sink")
+
+    def _rx_dma(
+        self,
+        frame: Frame,
+        region: MemoryRegion,
+        addr: int,
+        header_bytes: int,
+        on_header,
+        on_complete,
+    ) -> Generator:
+        fifo = self.fiber_in.fifo
+        dma_ns = self.costs.cab_dma_ns_per_byte
+        consumed = 0
+        header_posted = header_bytes <= 0
+        while True:
+            yield fifo.wait_data()
+            chunk = fifo.pop()
+            if chunk.frame is not frame:
+                raise CABError(
+                    f"{self.name}: rx DMA frame interleave (expected "
+                    f"#{frame.seqno}, got #{chunk.frame.seqno})"
+                )
+            yield self.sim.timeout(chunk.length * dma_ns)
+            region.write(addr + chunk.offset, frame.chunk_bytes(chunk))
+            consumed += chunk.length
+            if not header_posted and consumed >= header_bytes:
+                header_posted = True
+                if on_header is not None:
+                    self.cpu.post_interrupt(on_header(frame), name="start-of-data")
+            if chunk.is_last:
+                break
+        crc_ok = frame.crc_ok()
+        if not crc_ok:
+            self.stats.add("crc_errors")
+        if on_complete is not None:
+            self.cpu.post_interrupt(on_complete(frame, crc_ok), name="end-of-packet")
+        self._finish_rx()
+
+    def _rx_sink(self, frame: Frame) -> Generator:
+        fifo = self.fiber_in.fifo
+        while True:
+            yield fifo.wait_data()
+            chunk = fifo.pop()
+            if chunk.frame is not frame:
+                raise CABError(f"{self.name}: rx sink frame interleave")
+            if chunk.is_last:
+                break
+        self._finish_rx()
+
+    def _finish_rx(self) -> None:
+        done, self._rx_done = self._rx_done, None
+        self._rx_started = False
+        if done is not None:
+            done.succeed()
+
+    # ----------------------------------------------------------------- misc
+
+    def fork_system_thread(self, gen: Generator, name: str):
+        """Spawn a system-priority thread (protocol threads)."""
+        return self.cpu.add_thread(gen, priority=PRIORITY_SYSTEM, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CAB {self.name}>"

@@ -1,0 +1,480 @@
+"""The CPU execution engine: preemptive threads plus interrupt handlers.
+
+This module models a single processor (the CAB's SPARC, or a host CPU)
+executing two kinds of activity, exactly as the paper's runtime does
+(Sec. 3.1):
+
+* **Threads** — generator coroutines scheduled by a preemptive,
+  priority-based scheduler.  System threads (protocol processing) run at a
+  higher priority than application threads.  A context switch costs the
+  SPARC register-window save/restore time (~20 us on the CAB).
+* **Interrupt handlers** — generators that preempt any thread, run to
+  completion with further interrupts masked (the paper's CAB does not use
+  nested interrupts), and may only perform non-blocking operations.
+
+Thread bodies *yield operation objects*:
+
+* ``Compute(ns)`` — consume CPU time; preemptible by interrupts (the engine
+  slices the computation when an interrupt arrives mid-burst).
+* ``Block(token)`` — block until :meth:`CPU.wake` is called with the token;
+  resumes with the value passed to ``wake``.
+* ``YieldCPU()`` — relinquish the processor (round-robin within priority).
+* ``SetMask(True/False)`` — mask/unmask interrupts (critical sections shared
+  with interrupt handlers; see the sync implementation, paper Sec. 3.4).
+
+Higher-level synchronization (mutexes, condition variables, mailboxes) is
+built from these in :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Optional
+
+from repro.errors import CABError
+from repro.model.stats import StatsRegistry
+from repro.sim.core import Event, Simulator
+from repro.sim.primitives import Signal
+
+__all__ = [
+    "CPU",
+    "Block",
+    "Compute",
+    "PRIORITY_APPLICATION",
+    "PRIORITY_SYSTEM",
+    "SetMask",
+    "TCB",
+    "WaitToken",
+    "YieldCPU",
+]
+
+#: Scheduling priorities (paper Sec. 3.1: "system threads running at a higher
+#: priority than application threads").  Larger number wins.
+PRIORITY_SYSTEM = 10
+PRIORITY_APPLICATION = 1
+
+# Thread states.
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+_NEW = "new"
+
+
+class _Op:
+    """Base class for operations a thread may yield to the engine."""
+
+    __slots__ = ()
+
+
+class Compute(_Op):
+    """Consume ``ns`` of CPU time (interruptible)."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise CABError(f"negative compute time {ns}")
+        self.ns = int(ns)
+
+
+class Block(_Op):
+    """Block until the engine's wake() is called with this token."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: "WaitToken"):
+        self.token = token
+
+
+class YieldCPU(_Op):
+    """Voluntarily relinquish the processor."""
+
+    __slots__ = ()
+
+
+class SetMask(_Op):
+    """Mask (True) or unmask (False) interrupts for the current thread."""
+
+    __slots__ = ("masked",)
+
+    def __init__(self, masked: bool):
+        self.masked = masked
+
+
+class WaitToken:
+    """A one-shot rendezvous between a blocking thread and its waker."""
+
+    __slots__ = ("name", "tcb", "fired", "value", "cancelled")
+
+    def __init__(self, name: str = "token"):
+        self.name = name
+        self.tcb: Optional["TCB"] = None
+        self.fired = False
+        self.value: Any = None
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WaitToken {self.name} fired={self.fired}>"
+
+
+class TCB:
+    """Thread control block."""
+
+    __slots__ = (
+        "name",
+        "priority",
+        "gen",
+        "state",
+        "resume_value",
+        "resume_exc",
+        "pending_compute_ns",
+        "join_tokens",
+        "result",
+        "cpu",
+        "seq",
+    )
+
+    def __init__(self, name: str, priority: int, gen: Generator, cpu: "CPU", seq: int):
+        self.name = name
+        self.priority = priority
+        self.gen = gen
+        self.state = _NEW
+        self.resume_value: Any = None
+        self.resume_exc: Optional[BaseException] = None
+        self.pending_compute_ns = 0
+        self.join_tokens: list[WaitToken] = []
+        self.result: Any = None
+        self.cpu = cpu
+        self.seq = seq
+
+    @property
+    def alive(self) -> bool:
+        return self.state != _DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TCB {self.name} prio={self.priority} state={self.state}>"
+
+
+def wait_sim_event(cpu: "CPU", event: Event) -> Generator:
+    """Thread-context helper: block the current thread on a raw sim event.
+
+    Bridges the two worlds — hardware/device processes complete sim events;
+    threads block on wait tokens.  Returns the event's value.
+    """
+    token = WaitToken(name=f"sim-event:{event.name}")
+    if event.fired:
+        return event.value
+    event.callbacks.append(lambda ev: cpu.wake(token, ev.value))
+    value = yield Block(token)
+    return value
+
+
+class CPU:
+    """One simulated processor executing threads and interrupt handlers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "cpu",
+        context_switch_ns: int = 20_000,
+        dispatch_ns: int = 3_000,
+        interrupt_entry_ns: int = 4_000,
+        interrupt_exit_ns: int = 2_000,
+    ):
+        self.sim = sim
+        self.name = name
+        self.context_switch_ns = context_switch_ns
+        self.dispatch_ns = dispatch_ns
+        self.interrupt_entry_ns = interrupt_entry_ns
+        self.interrupt_exit_ns = interrupt_exit_ns
+        self.stats = StatsRegistry()
+
+        self.current: Optional[TCB] = None
+        self._ready: list[tuple[int, int, TCB]] = []  # (-priority, seq, tcb)
+        self._seq = 0
+        self._pending_irqs: Deque[tuple[str, Callable[[], Optional[Generator]]]] = deque()
+        self._mask_depth = 0
+        self._work = Signal(sim, name=f"{name}.work")
+        self._irq_arrival: Optional[Event] = None
+        self._last_ran: Optional[TCB] = None
+        self.busy_ns = 0
+        self._engine = sim.process(self._engine_loop(), name=f"{name}.engine")
+
+    # ------------------------------------------------------------ public API
+
+    def add_thread(
+        self, gen: Generator, priority: int = PRIORITY_APPLICATION, name: str = "thread"
+    ) -> TCB:
+        """Create a thread from a generator and make it runnable."""
+        self._seq += 1
+        tcb = TCB(name, priority, gen, self, self._seq)
+        self._make_ready(tcb)
+        return tcb
+
+    def wake(self, token: WaitToken, value: Any = None) -> bool:
+        """Fire a wait token, unblocking the thread parked on it (if any).
+
+        May be called from interrupt handlers, other threads' operations, or
+        device callbacks.  Returns False if the token was cancelled.
+        """
+        if token.cancelled:
+            return False
+        if token.fired:
+            raise CABError(f"{self.name}: token {token.name} woken twice")
+        token.fired = True
+        token.value = value
+        tcb = token.tcb
+        if tcb is not None:
+            if tcb.state != _BLOCKED:
+                raise CABError(
+                    f"{self.name}: token {token.name} bound to non-blocked "
+                    f"thread {tcb.name} ({tcb.state})"
+                )
+            tcb.resume_value = value
+            self._make_ready(tcb)
+        return True
+
+    def wake_after(self, token: WaitToken, delay_ns: int, value: Any = None) -> None:
+        """Schedule a timer interrupt that wakes ``token`` after ``delay_ns``.
+
+        Modelled as a real (tiny) interrupt so that a sleeping high-priority
+        thread preempts a computing low-priority one when its timer fires.
+        """
+        timer = self.sim.event(name=f"{self.name}.timer")
+
+        def deliver(_ev: Event) -> None:
+            if not token.cancelled and not token.fired:
+                self.post_interrupt(self._timer_handler(token, value), name="timer")
+
+        timer.callbacks.append(deliver)
+        timer.succeed(delay=delay_ns)
+
+    def _timer_handler(self, token: WaitToken, value: Any) -> Generator:
+        yield Compute(500)  # timer handler body
+        if not token.cancelled and not token.fired:
+            self.wake(token, value)
+
+    def post_interrupt(self, handler: Any, name: str = "irq") -> None:
+        """Queue an interrupt.
+
+        ``handler`` is a generator (run with interrupts masked; may yield
+        only ``Compute``) or a plain callable (invoked with no arguments).
+        """
+        self._pending_irqs.append((name, handler))
+        self.stats.add("interrupts_posted")
+        # Kick the engine if it is idle or mid-compute.
+        if self._irq_arrival is not None and not self._irq_arrival.triggered:
+            self._irq_arrival.succeed()
+        self._work.fire()
+
+    def interrupts_pending(self) -> int:
+        """Number of queued, unserviced interrupts."""
+        return len(self._pending_irqs)
+
+    @property
+    def utilization_window_ns(self) -> int:
+        return self.sim.now
+
+    # ------------------------------------------------------------- scheduling
+
+    def _make_ready(self, tcb: TCB) -> None:
+        tcb.state = _READY
+        self._seq += 1
+        heapq.heappush(self._ready, (-tcb.priority, self._seq, tcb))
+        self._work.fire()
+
+    def _pop_ready(self) -> Optional[TCB]:
+        while self._ready:
+            _neg, _seq, tcb = heapq.heappop(self._ready)
+            if tcb.state == _READY:
+                return tcb
+        return None
+
+    def _top_ready_priority(self) -> Optional[int]:
+        while self._ready and self._ready[0][2].state != _READY:
+            heapq.heappop(self._ready)
+        if self._ready:
+            return self._ready[0][2].priority
+        return None
+
+    def _should_preempt(self, tcb: TCB) -> bool:
+        top = self._top_ready_priority()
+        return top is not None and top > tcb.priority
+
+    # ----------------------------------------------------------------- engine
+
+    def _engine_loop(self) -> Generator:
+        while True:
+            if self._pending_irqs and self._mask_depth == 0:
+                yield from self._service_one_irq()
+                continue
+            tcb = self._pop_ready()
+            if tcb is None:
+                yield self._work.wait()
+                continue
+            yield from self._run_thread(tcb)
+
+    def _charge(self, ns: int) -> Generator:
+        """Advance time with the CPU busy (non-preemptible)."""
+        if ns > 0:
+            self.busy_ns += ns
+            yield self.sim.timeout(ns)
+
+    def _service_one_irq(self) -> Generator:
+        name, handler = self._pending_irqs.popleft()
+        self.stats.add("interrupts_serviced")
+        yield from self._charge(self.interrupt_entry_ns)
+        if hasattr(handler, "send"):
+            yield from self._run_handler(name, handler)
+        else:
+            handler()
+        yield from self._charge(self.interrupt_exit_ns)
+
+    def _run_handler(self, name: str, gen: Generator) -> Generator:
+        """Run an interrupt handler generator to completion, masked."""
+        value: Any = None
+        while True:
+            try:
+                op = gen.send(value)
+            except StopIteration:
+                return
+            value = None
+            if isinstance(op, Compute):
+                yield from self._charge(op.ns)
+            else:
+                gen.close()
+                raise CABError(
+                    f"{self.name}: interrupt handler {name!r} attempted a "
+                    f"blocking operation ({type(op).__name__}); handlers may "
+                    f"only Compute"
+                )
+
+    def _run_thread(self, tcb: TCB) -> Generator:
+        if self._last_ran is not tcb:
+            yield from self._charge(self.dispatch_ns + self.context_switch_ns)
+            self.stats.add("context_switches")
+            self._last_ran = tcb
+        tcb.state = _RUNNING
+        self.current = tcb
+
+        while True:
+            # Finish an interrupted compute burst before stepping the thread.
+            if tcb.pending_compute_ns > 0:
+                finished = yield from self._compute(tcb)
+                if not finished:
+                    self.current = None
+                    return  # preempted; tcb was re-queued by _compute
+
+            if self._pending_irqs and self._mask_depth == 0:
+                yield from self._service_one_irq()
+                if self._should_preempt(tcb):
+                    self._make_ready(tcb)
+                    self.current = None
+                    return
+                continue
+
+            if self._should_preempt(tcb):
+                self._make_ready(tcb)
+                self.current = None
+                return
+
+            # Step the thread generator.
+            try:
+                if tcb.resume_exc is not None:
+                    exc, tcb.resume_exc = tcb.resume_exc, None
+                    op = tcb.gen.throw(exc)
+                else:
+                    value, tcb.resume_value = tcb.resume_value, None
+                    op = tcb.gen.send(value)
+            except StopIteration as stop:
+                self._finish_thread(tcb, stop.value)
+                self.current = None
+                return
+            except BaseException:
+                tcb.state = _DONE
+                self.current = None
+                raise
+
+            if isinstance(op, Compute):
+                tcb.pending_compute_ns = op.ns
+            elif isinstance(op, Block):
+                if self._mask_depth > 0:
+                    raise CABError(
+                        f"{self.name}: thread {tcb.name} blocked with "
+                        f"interrupts masked"
+                    )
+                token = op.token
+                if token.cancelled:
+                    raise CABError(
+                        f"{self.name}: thread {tcb.name} blocked on "
+                        f"cancelled token {token.name}"
+                    )
+                if token.fired:
+                    # wake() beat us to it: consume the value, keep running.
+                    tcb.resume_value = token.value
+                else:
+                    token.tcb = tcb
+                    tcb.state = _BLOCKED
+                    self.current = None
+                    return
+            elif isinstance(op, YieldCPU):
+                self._make_ready(tcb)
+                self.current = None
+                return
+            elif isinstance(op, SetMask):
+                if op.masked:
+                    self._mask_depth += 1
+                else:
+                    if self._mask_depth <= 0:
+                        raise CABError(
+                            f"{self.name}: unbalanced interrupt unmask in "
+                            f"thread {tcb.name}"
+                        )
+                    self._mask_depth -= 1
+            else:
+                raise CABError(
+                    f"{self.name}: thread {tcb.name} yielded unknown op "
+                    f"{op!r}"
+                )
+
+    def _compute(self, tcb: TCB) -> Generator:
+        """Charge tcb.pending_compute_ns, slicing on interrupt arrival.
+
+        Returns True if the burst completed, False if the thread was
+        preempted (in which case it has been re-queued with the remainder).
+        """
+        while tcb.pending_compute_ns > 0:
+            if self._pending_irqs and self._mask_depth == 0:
+                yield from self._service_one_irq()
+                if self._should_preempt(tcb):
+                    self._make_ready(tcb)
+                    return False
+                continue
+            start = self.sim.now
+            remaining = tcb.pending_compute_ns
+            if self._mask_depth > 0:
+                # Masked: interrupts cannot slice the burst.
+                yield from self._charge(remaining)
+                tcb.pending_compute_ns = 0
+                break
+            self._irq_arrival = self.sim.event(name=f"{self.name}.irq_arrival")
+            winner_index, _event = yield self.sim.any_of(
+                [self.sim.timeout(remaining), self._irq_arrival]
+            )
+            self._irq_arrival = None
+            elapsed = self.sim.now - start
+            self.busy_ns += elapsed
+            tcb.pending_compute_ns = max(0, remaining - elapsed)
+            if winner_index == 0:
+                tcb.pending_compute_ns = 0
+        return True
+
+    def _finish_thread(self, tcb: TCB, result: Any) -> None:
+        tcb.state = _DONE
+        tcb.result = result
+        self.stats.add("threads_finished")
+        tokens, tcb.join_tokens = tcb.join_tokens, []
+        for token in tokens:
+            self.wake(token, result)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Nectar reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "AddressError",
+    "CABError",
+    "ConfigurationError",
+    "HeapExhausted",
+    "HubError",
+    "MailboxError",
+    "MemoryFault",
+    "NectarError",
+    "ProtocolError",
+    "RouteError",
+    "SyncError",
+]
+
+
+class NectarError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(NectarError):
+    """Invalid system construction (bad topology, bad parameters)."""
+
+
+class MemoryFault(NectarError):
+    """Access outside a memory region or denied by the protection domain."""
+
+
+class HeapExhausted(NectarError):
+    """The CAB buffer heap cannot satisfy an allocation."""
+
+
+class MailboxError(NectarError):
+    """Misuse of the mailbox interface."""
+
+
+class SyncError(NectarError):
+    """Misuse of the sync (lightweight synchronization) interface."""
+
+
+class CABError(NectarError):
+    """CAB board-level error."""
+
+
+class HubError(NectarError):
+    """HUB crossbar error (bad port, conflicting connection)."""
+
+
+class RouteError(NectarError):
+    """No route, or a malformed source route."""
+
+
+class AddressError(NectarError):
+    """Unknown Nectar node or mailbox address."""
+
+
+class ProtocolError(NectarError):
+    """Malformed packet or protocol state violation."""

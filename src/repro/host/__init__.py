@@ -1,0 +1,12 @@
+"""The host side: machines, processes, the CAB device driver, usage modes.
+
+Covers Sec. 3.2 (host-CAB signaling as seen from the host), Sec. 3.5 / 5.2
+(Nectarine and the socket emulation), Sec. 5.1 (the CAB as a conventional
+network device, plus the Ethernet baseline), and the host ends of the
+Sec. 6 measurements.
+"""
+
+from repro.host.machine import Host, HostedNode
+from repro.host.driver import CABDriver
+
+__all__ = ["CABDriver", "Host", "HostedNode"]

@@ -1,0 +1,17 @@
+"""The Nectar network fabric: HUB crossbars, routing, the network builder."""
+
+from repro.hub.crossbar import Hub, PortKind
+from repro.hub.controller import Circuit, HubController
+from repro.hub.network import DropInjector, CorruptionInjector, NectarNetwork
+from repro.hub.routing import Topology
+
+__all__ = [
+    "Circuit",
+    "CorruptionInjector",
+    "DropInjector",
+    "Hub",
+    "HubController",
+    "NectarNetwork",
+    "PortKind",
+    "Topology",
+]

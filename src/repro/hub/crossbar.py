@@ -1,0 +1,139 @@
+"""The HUB: a crossbar switch with I/O ports and per-output arbitration.
+
+A HUB consists of a crossbar switch, a set of I/O ports, and a controller
+(paper Sec. 2.1).  The crossbar itself is non-blocking: contention exists
+only at output ports, which we model as single-slot resources.  The current
+Nectar HUBs are 16x16; the hardware latency to set up a connection and push
+the first byte through a single HUB is 700 ns.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import HubError
+from repro.model.stats import StatsRegistry
+from repro.sim.core import Simulator
+from repro.sim.primitives import Resource
+
+__all__ = ["Hub", "PortKind", "PortAttachment"]
+
+DEFAULT_PORTS = 16
+
+
+class PortKind(enum.Enum):
+    """What a HUB I/O port is wired to."""
+
+    CAB = "cab"
+    HUB = "hub"
+
+
+class PortAttachment:
+    """One end of a fiber pair plugged into a HUB port."""
+
+    __slots__ = ("kind", "target", "target_port")
+
+    def __init__(self, kind: PortKind, target: object, target_port: Optional[int] = None):
+        self.kind = kind
+        self.target = target  # a CAB-like node (has .fiber_in) or a Hub
+        self.target_port = target_port  # meaningful for HUB-HUB links
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.target, "name", self.target)
+        return f"<attach {self.kind.value}:{name}>"
+
+
+class Hub:
+    """One crossbar switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ports: int = DEFAULT_PORTS,
+        setup_ns: int = 700,
+    ):
+        if ports <= 1:
+            raise HubError(f"hub needs at least 2 ports, got {ports}")
+        self.sim = sim
+        self.name = name
+        self.ports = ports
+        self.setup_ns = setup_ns
+        self._attachments: list[Optional[PortAttachment]] = [None] * ports
+        # Output-port arbitration: one frame (or one circuit) at a time.
+        self._out_arbiters = [
+            Resource(sim, slots=1, name=f"{name}.out{p}") for p in range(ports)
+        ]
+        #: Output ports currently pinned by an open circuit.
+        self._circuit_holds: set[int] = set()
+        self.stats = StatsRegistry()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.ports:
+            raise HubError(f"{self.name}: port {port} out of range 0..{self.ports - 1}")
+
+    def attach(self, port: int, attachment: PortAttachment) -> None:
+        """Wire an attachment (CAB or neighbouring HUB) to a port."""
+        self._check_port(port)
+        if self._attachments[port] is not None:
+            raise HubError(f"{self.name}: port {port} already attached")
+        self._attachments[port] = attachment
+
+    def attachment(self, port: int) -> PortAttachment:
+        """What is wired to a port (raises if nothing is)."""
+        self._check_port(port)
+        attachment = self._attachments[port]
+        if attachment is None:
+            raise HubError(f"{self.name}: port {port} is not attached")
+        return attachment
+
+    def is_attached(self, port: int) -> bool:
+        """Whether anything is wired to the port."""
+        self._check_port(port)
+        return self._attachments[port] is not None
+
+    def attached_ports(self) -> list[int]:
+        """All ports with something wired to them."""
+        return [p for p in range(self.ports) if self._attachments[p] is not None]
+
+    # -- switching --------------------------------------------------------------
+
+    def acquire_output(self, port: int):
+        """Event granting exclusive use of an output port (packet switching)."""
+        self._check_port(port)
+        self.stats.add(f"out{port}_grants")
+        return self._out_arbiters[port].acquire()
+
+    def release_output(self, port: int) -> None:
+        """Release an output port held by a packet or circuit."""
+        self._check_port(port)
+        self._out_arbiters[port].release()
+
+    def output_busy(self, port: int) -> bool:
+        """Whether the output port is currently granted."""
+        self._check_port(port)
+        return self._out_arbiters[port].in_use > 0
+
+    # -- circuit bookkeeping (used by the controller) ---------------------------
+
+    def pin_circuit(self, port: int) -> None:
+        """Mark an output port as held by an open circuit."""
+        self._check_port(port)
+        if port in self._circuit_holds:
+            raise HubError(f"{self.name}: port {port} already pinned by a circuit")
+        self._circuit_holds.add(port)
+
+    def unpin_circuit(self, port: int) -> None:
+        """Clear a circuit hold on an output port."""
+        self._check_port(port)
+        self._circuit_holds.discard(port)
+
+    def circuit_pinned(self, port: int) -> bool:
+        """Whether a circuit currently pins the port."""
+        return port in self._circuit_holds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Hub {self.name} {self.ports}x{self.ports}>"

@@ -1,0 +1,236 @@
+"""The Nectar network: CABs wired to HUBs, link processes, fault injection.
+
+:class:`NectarNetwork` owns the topology and runs one *link transmit process*
+per attached CAB.  The process drains the CAB's output FIFO, sets up the
+crossbar connection described by the frame's source route (700 ns per HUB),
+streams the frame's chunks at fiber line rate into the destination CAB's
+input FIFO — blocking on FIFO space, which is the HUB's low-level flow
+control — and releases the connection at the end of the packet.
+
+Fault injectors can corrupt frame bytes on the wire (detected by the
+receiving CAB's hardware CRC check) or drop frames outright, which is what
+makes the transport protocols' retransmission machinery genuinely necessary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional, Protocol
+
+from repro.errors import ConfigurationError, RouteError
+from repro.hub.crossbar import Hub, PortAttachment, PortKind
+from repro.hub.routing import Topology
+from repro.hw.fiber import FiberIn, FiberOut, Frame
+from repro.model.costs import CostModel
+from repro.model.stats import StatsRegistry
+from repro.sim.core import Simulator
+
+__all__ = ["CorruptionInjector", "DropInjector", "NectarNetwork", "NetworkNode"]
+
+
+class NetworkNode(Protocol):
+    """What the network needs from an attached node (a CAB)."""
+
+    name: str
+    fiber_in: FiberIn
+    fiber_out: FiberOut
+
+
+@dataclass
+class PathPlan:
+    """A resolved source route: the hops to arbitrate and the destination."""
+
+    hops: list[tuple[Hub, int]]
+    dest: NetworkNode
+    setup_ns: int
+    propagation_ns: int
+
+
+class CorruptionInjector:
+    """Flips one byte of every frame matched by a deterministic schedule."""
+
+    def __init__(self, every_nth: int = 0, probability: float = 0.0, seed: int = 1):
+        if every_nth < 0:
+            raise ConfigurationError(f"every_nth must be >= 0, got {every_nth}")
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(f"probability must be in [0,1], got {probability}")
+        self.every_nth = every_nth
+        self.probability = probability
+        self._rng = random.Random(seed)
+        self._count = 0
+        self.corrupted = 0
+
+    def __call__(self, frame: Frame) -> None:
+        self._count += 1
+        hit = False
+        if self.every_nth and self._count % self.every_nth == 0:
+            hit = True
+        elif self.probability and self._rng.random() < self.probability:
+            hit = True
+        if hit:
+            index = self._rng.randrange(len(frame.payload))
+            frame.payload[index] ^= 0xFF
+            self.corrupted += 1
+
+
+class DropInjector:
+    """Silently discards every Nth frame (or with a probability)."""
+
+    def __init__(self, every_nth: int = 0, probability: float = 0.0, seed: int = 2):
+        if every_nth < 0:
+            raise ConfigurationError(f"every_nth must be >= 0, got {every_nth}")
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(f"probability must be in [0,1], got {probability}")
+        self.every_nth = every_nth
+        self.probability = probability
+        self._rng = random.Random(seed)
+        self._count = 0
+        self.dropped = 0
+
+    def __call__(self, frame: Frame) -> None:
+        self._count += 1
+        if (self.every_nth and self._count % self.every_nth == 0) or (
+            self.probability and self._rng.random() < self.probability
+        ):
+            frame.drop = True
+            self.dropped += 1
+
+
+class NectarNetwork:
+    """The fabric connecting CABs through one or more HUBs."""
+
+    def __init__(self, sim: Simulator, costs: CostModel):
+        self.sim = sim
+        self.costs = costs
+        self.topology = Topology()
+        self.nodes: Dict[str, NetworkNode] = {}
+        self.stats = StatsRegistry()
+        #: Called once per frame at egress; may corrupt bytes or set drop.
+        self.fault_injector: Optional[Callable[[Frame], None]] = None
+        self._route_cache: Dict[tuple[str, str], tuple[int, ...]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def new_hub(self, name: str, ports: int = 16) -> Hub:
+        """Create a HUB and register it with the topology."""
+        hub = Hub(self.sim, name, ports=ports, setup_ns=self.costs.hub_setup_ns)
+        self.topology.add_hub(hub)
+        return hub
+
+    def attach(self, node: NetworkNode, hub: Hub, port: int) -> None:
+        """Plug a CAB's fiber pair into a HUB port and start its link process."""
+        if node.name in self.nodes:
+            raise ConfigurationError(f"node {node.name!r} already attached")
+        hub.attach(port, PortAttachment(PortKind.CAB, node))
+        self.topology.place_cab(node.name, hub, port)
+        self.nodes[node.name] = node
+        self._route_cache.clear()
+        self.sim.process(self._link_tx_loop(node), name=f"link:{node.name}")
+
+    def link_hubs(self, hub_a: Hub, port_a: int, hub_b: Hub, port_b: int) -> None:
+        """Wire two HUBs together with a fiber pair."""
+        hub_a.attach(port_a, PortAttachment(PortKind.HUB, hub_b, port_b))
+        hub_b.attach(port_b, PortAttachment(PortKind.HUB, hub_a, port_a))
+        self.topology.link_hubs(hub_a, port_a, hub_b, port_b)
+        self._route_cache.clear()
+
+    # -- routing -----------------------------------------------------------------
+
+    def route_for(self, src: str, dst: str) -> tuple[int, ...]:
+        """Source route between two attached CABs (cached)."""
+        key = (src, dst)
+        if key not in self._route_cache:
+            self._route_cache[key] = self.topology.compute_route(src, dst)
+        return self._route_cache[key]
+
+    def plan_path(self, src: NetworkNode, route: tuple[int, ...]) -> PathPlan:
+        """Resolve a source route into hop resources and a destination node."""
+        if not route:
+            # Loopback: deliver to our own input FIFO.
+            return PathPlan(hops=[], dest=src, setup_ns=0, propagation_ns=self.costs.fiber_propagation_ns)
+        hub, _port = self.topology.hub_of(src.name)
+        hops: list[tuple[Hub, int]] = []
+        dest: Optional[NetworkNode] = None
+        for index, out_port in enumerate(route):
+            attachment = hub.attachment(out_port)
+            hops.append((hub, out_port))
+            if attachment.kind is PortKind.CAB:
+                if index != len(route) - 1:
+                    raise RouteError(f"route {route}: CAB reached mid-route")
+                dest = attachment.target  # type: ignore[assignment]
+            else:
+                if index == len(route) - 1:
+                    raise RouteError(f"route {route} ends on an inter-hub link")
+                hub = attachment.target  # type: ignore[assignment]
+        assert dest is not None
+        setup = self.costs.hub_setup_ns + self.costs.hub_hop_ns * (len(hops) - 1)
+        propagation = self.costs.fiber_propagation_ns * (len(hops) + 1)
+        return PathPlan(hops=hops, dest=dest, setup_ns=setup, propagation_ns=propagation)
+
+    # -- the link process ---------------------------------------------------------
+
+    def _link_tx_loop(self, node: NetworkNode) -> Generator:
+        """Drain one CAB's output FIFO onto the fabric, frame by frame."""
+        fifo = node.fiber_out.fifo
+        fiber_ns_per_byte = self.costs.fiber_ns_per_byte
+        while True:
+            yield fifo.wait_data()
+            chunk = fifo.pop()
+            frame: Frame = chunk.frame
+            if not chunk.is_first:
+                raise RouteError(
+                    f"link {node.name}: FIFO out of frame sync (got offset "
+                    f"{chunk.offset} of frame #{frame.seqno})"
+                )
+            if self.fault_injector is not None:
+                self.fault_injector(frame)
+
+            if frame.drop:
+                yield from self._consume_frame(fifo, chunk)
+                self.stats.add("frames_dropped")
+                continue
+
+            circuit = frame.circuit
+            if circuit is not None:
+                plan: PathPlan = circuit.plan  # type: ignore[attr-defined]
+                # Circuit already holds the crossbar ports: no setup latency.
+                yield self.sim.timeout(plan.propagation_ns)
+                yield from self._stream_frame(node, fifo, chunk, plan)
+            else:
+                plan = self.plan_path(node, frame.route)
+                for hub, port in plan.hops:
+                    yield hub.acquire_output(port)
+                yield self.sim.timeout(plan.setup_ns + plan.propagation_ns)
+                try:
+                    yield from self._stream_frame(node, fifo, chunk, plan)
+                finally:
+                    for hub, port in reversed(plan.hops):
+                        hub.release_output(port)
+            self.stats.add("frames_delivered")
+            self.stats.add("bytes_delivered", frame.size)
+
+    def _stream_frame(self, node, fifo, first_chunk, plan: PathPlan) -> Generator:
+        """Push a frame's chunks into the destination FIFO at line rate."""
+        dest_fifo = plan.dest.fiber_in.fifo
+        fiber_ns_per_byte = self.costs.fiber_ns_per_byte
+        chunk = first_chunk
+        while True:
+            yield dest_fifo.wait_space(chunk.length)
+            yield self.sim.timeout(int(round(chunk.length * fiber_ns_per_byte)))
+            dest_fifo.push(chunk)
+            if chunk.is_last:
+                return
+            yield fifo.wait_data()
+            chunk = fifo.pop()
+
+    def _consume_frame(self, fifo, first_chunk) -> Generator:
+        """Eat a dropped frame's chunks at line rate (the wire is still busy)."""
+        fiber_ns_per_byte = self.costs.fiber_ns_per_byte
+        chunk = first_chunk
+        while True:
+            yield self.sim.timeout(int(round(chunk.length * fiber_ns_per_byte)))
+            if chunk.is_last:
+                return
+            yield fifo.wait_data()
+            chunk = fifo.pop()

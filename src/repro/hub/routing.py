@@ -1,0 +1,120 @@
+"""Topology bookkeeping and source-route computation.
+
+The CABs use *source routing* (paper Sec. 2.1): a route is the sequence of
+HUB output-port numbers a frame must take, one per HUB traversed.  The HUB
+command set supports multi-hop connections, so large Nectar systems are built
+by wiring HUB ports to other HUBs.
+
+This module keeps the wiring graph and computes shortest routes with a plain
+breadth-first search over HUBs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from repro.errors import RouteError
+from repro.hub.crossbar import Hub, PortKind
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """The wiring graph: which CAB/HUB sits on which HUB port."""
+
+    def __init__(self):
+        #: cab name -> (hub, port) where the CAB's fibers terminate
+        self.cab_ports: Dict[str, tuple[Hub, int]] = {}
+        #: (hub name, out port) -> neighbour hub, for HUB-HUB links
+        self._hub_links: Dict[tuple[str, int], Hub] = {}
+        self.hubs: Dict[str, Hub] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_hub(self, hub: Hub) -> None:
+        """Register a HUB in the wiring graph."""
+        if hub.name in self.hubs:
+            raise RouteError(f"duplicate hub name {hub.name!r}")
+        self.hubs[hub.name] = hub
+
+    def place_cab(self, cab_name: str, hub: Hub, port: int) -> None:
+        """Record which HUB port a CAB's fibers terminate on."""
+        if cab_name in self.cab_ports:
+            raise RouteError(f"CAB {cab_name!r} already placed")
+        if hub.name not in self.hubs:
+            self.add_hub(hub)
+        self.cab_ports[cab_name] = (hub, port)
+
+    def link_hubs(self, hub_a: Hub, port_a: int, hub_b: Hub, port_b: int) -> None:
+        """Record an inter-HUB fiber pair between two ports."""
+        for hub in (hub_a, hub_b):
+            if hub.name not in self.hubs:
+                self.add_hub(hub)
+        key_a = (hub_a.name, port_a)
+        key_b = (hub_b.name, port_b)
+        if key_a in self._hub_links or key_b in self._hub_links:
+            raise RouteError("hub port already used by another inter-hub link")
+        self._hub_links[key_a] = hub_b
+        self._hub_links[key_b] = hub_a
+
+    # -- queries ---------------------------------------------------------------
+
+    def hub_of(self, cab_name: str) -> tuple[Hub, int]:
+        """The (hub, port) where a CAB is attached."""
+        if cab_name not in self.cab_ports:
+            raise RouteError(f"unknown CAB {cab_name!r}")
+        return self.cab_ports[cab_name]
+
+    def compute_route(self, src_cab: str, dst_cab: str) -> tuple[int, ...]:
+        """Shortest source route from one CAB to another.
+
+        Returns the tuple of output-port numbers, one per HUB traversed.
+        An empty tuple means loopback (src == dst).
+        """
+        if src_cab == dst_cab:
+            return ()
+        src_hub, _src_port = self.hub_of(src_cab)
+        dst_hub, dst_port = self.hub_of(dst_cab)
+
+        # BFS over hubs; edges are inter-hub links.
+        frontier: deque[Hub] = deque([src_hub])
+        parents: Dict[str, Optional[tuple[Hub, int]]] = {src_hub.name: None}
+        while frontier:
+            hub = frontier.popleft()
+            if hub.name == dst_hub.name:
+                break
+            for (hub_name, out_port), neighbour in self._hub_links.items():
+                if hub_name != hub.name or neighbour.name in parents:
+                    continue
+                parents[neighbour.name] = (hub, out_port)
+                frontier.append(neighbour)
+        if dst_hub.name not in parents:
+            raise RouteError(f"no path from {src_cab!r} to {dst_cab!r}")
+
+        # Walk back from destination hub, collecting output ports.
+        ports: list[int] = [dst_port]
+        cursor = dst_hub.name
+        while parents[cursor] is not None:
+            hub, out_port = parents[cursor]  # type: ignore[misc]
+            ports.append(out_port)
+            cursor = hub.name
+        ports.reverse()
+        return tuple(ports)
+
+    def validate_route(self, src_cab: str, route: tuple[int, ...]) -> None:
+        """Check that a route terminates at a CAB (raises RouteError if not)."""
+        if not route:
+            return  # loopback
+        hub, _ = self.hub_of(src_cab)
+        for index, port in enumerate(route):
+            attachment = hub.attachment(port)
+            last = index == len(route) - 1
+            if attachment.kind is PortKind.CAB and not last:
+                raise RouteError(
+                    f"route {route} reaches a CAB at hop {index} with hops left"
+                )
+            if attachment.kind is PortKind.HUB:
+                if last:
+                    raise RouteError(f"route {route} ends at an inter-hub link")
+                hub = attachment.target  # type: ignore[assignment]

@@ -1,0 +1,116 @@
+"""Fiber-optic link endpoints and link-level frames.
+
+Each CAB connects to a HUB I/O port with two optical fibers, one per
+direction (paper Sec. 2.2).  Frames carry a *source route* (the sequence of
+HUB output ports to traverse, paper Sec. 2.1) plus the datalink payload
+bytes; the CRC is computed by hardware at egress and checked at ingress.
+
+Frames move as :class:`~repro.hw.fifo.Chunk` pieces so that transmission,
+switching and reception overlap in time (cut-through), and so that FIFO
+backpressure (the HUB's low-level flow control) is exercised for real.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.errors import CABError
+from repro.hw.crc import crc32
+from repro.hw.fifo import ByteFIFO, Chunk
+from repro.sim.core import Simulator
+
+__all__ = ["CHUNK_BYTES", "FiberIn", "FiberOut", "Frame"]
+
+#: Granularity at which frames move through FIFOs and links.  Small enough
+#: that header processing overlaps the arrival of an 8 KB body; large enough
+#: that the event count stays low.
+CHUNK_BYTES = 512
+
+_frame_seq = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """A link-level frame: source route + datalink payload bytes."""
+
+    route: tuple[int, ...]
+    payload: bytearray
+    src: str = "?"
+    crc: int = 0
+    seqno: int = field(default_factory=lambda: next(_frame_seq))
+    created_ns: int = 0
+    #: Invoked (in event context) when the sender's DMA has fully drained the
+    #: frame from CAB memory — the send buffer may be reused from then on.
+    on_dma_done: Optional[Callable[["Frame"], None]] = None
+    #: Set by a fault injector: the network eats the frame (never delivered).
+    drop: bool = False
+    #: An open circuit to send over (skips per-frame connection setup).
+    circuit: Optional[object] = None
+
+    def __post_init__(self):
+        if not isinstance(self.payload, bytearray):
+            self.payload = bytearray(self.payload)
+        if len(self.payload) == 0:
+            raise CABError("empty frame payload")
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+    def seal(self) -> None:
+        """Compute the egress CRC over the (current) payload bytes."""
+        self.crc = crc32(bytes(self.payload))
+
+    def crc_ok(self) -> bool:
+        """Ingress check: does the payload still match the egress CRC?"""
+        return crc32(bytes(self.payload)) == self.crc
+
+    def chunks(self) -> Iterator[Chunk]:
+        """Split the frame into link chunks."""
+        total = len(self.payload)
+        offset = 0
+        while offset < total:
+            length = min(CHUNK_BYTES, total - offset)
+            yield Chunk(
+                frame=self,
+                offset=offset,
+                length=length,
+                is_first=(offset == 0),
+                is_last=(offset + length >= total),
+            )
+            offset += length
+
+    def chunk_bytes(self, chunk: Chunk) -> bytes:
+        """The payload bytes covered by one chunk."""
+        return bytes(self.payload[chunk.offset : chunk.offset + chunk.length])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Frame #{self.seqno} {self.size}B route={self.route} from {self.src}>"
+
+
+class FiberOut:
+    """The transmit fiber endpoint of a CAB: the output FIFO.
+
+    The CAB's transmit DMA fills the FIFO from data memory; the network link
+    process drains it onto the fiber at line rate.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "fiber-out"):
+        self.sim = sim
+        self.name = name
+        self.fifo = ByteFIFO(sim, capacity, name=f"{name}.fifo")
+
+
+class FiberIn:
+    """The receive fiber endpoint of a CAB: the input FIFO.
+
+    The network pushes arriving chunks here (blocking on FIFO space — that is
+    the link-level flow control); the CAB's receive path drains it.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "fiber-in"):
+        self.sim = sim
+        self.name = name
+        self.fifo = ByteFIFO(sim, capacity, name=f"{name}.fifo")

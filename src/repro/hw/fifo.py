@@ -1,0 +1,145 @@
+"""Bounded byte FIFOs between the fibers and CAB memory.
+
+The CAB has an input FIFO and an output FIFO between the optical fibers and
+its memory (paper Sec. 2.2).  The DMA controller "waits for data to arrive if
+the input FIFO is empty, or for data to drain if the output FIFO is full" —
+that low-level flow control is modelled by the blocking ``wait_space`` /
+``wait_data`` events here.
+
+Frames move through the FIFO as :class:`Chunk` records (a frame reference,
+an offset and a length) rather than individual bytes; the FIFO does exact
+byte accounting for capacity and flow control while the actual payload bytes
+ride on the frame object.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque
+
+from repro.errors import CABError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["ByteFIFO", "Chunk"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous piece of a frame moving through a FIFO or link."""
+
+    frame: Any
+    offset: int
+    length: int
+    is_first: bool
+    is_last: bool
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise CABError(f"chunk length must be positive, got {self.length}")
+        if self.offset < 0:
+            raise CABError(f"chunk offset must be non-negative, got {self.offset}")
+
+
+class ByteFIFO:
+    """A bounded FIFO of chunks with byte-granularity capacity."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "fifo"):
+        if capacity <= 0:
+            raise CABError(f"FIFO capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.level = 0  # bytes currently buffered
+        self._chunks: Deque[Chunk] = deque()
+        self._space_waiters: Deque[tuple[int, Event]] = deque()
+        self._data_waiters: Deque[Event] = deque()
+        self.total_in = 0
+        self.total_out = 0
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.level
+
+    @property
+    def is_empty(self) -> bool:
+        return self.level == 0
+
+    # -- producer side -----------------------------------------------------
+
+    def wait_space(self, nbytes: int) -> Event:
+        """Event that fires when ``nbytes`` of space is available.
+
+        Space waiters are served strictly in order, so a large chunk cannot
+        be starved by a stream of small ones.
+        """
+        if nbytes > self.capacity:
+            raise CABError(
+                f"{self.name}: chunk of {nbytes} bytes exceeds capacity "
+                f"{self.capacity}"
+            )
+        event = self.sim.event(name=f"space:{self.name}")
+        if not self._space_waiters and self.free >= nbytes:
+            event.succeed()
+        else:
+            self._space_waiters.append((nbytes, event))
+        return event
+
+    def push(self, chunk: Chunk) -> None:
+        """Add a chunk.  Caller must have waited for space."""
+        if chunk.length > self.free:
+            raise CABError(
+                f"{self.name}: push of {chunk.length} bytes overflows "
+                f"({self.level}/{self.capacity} used)"
+            )
+        self._chunks.append(chunk)
+        self.level += chunk.length
+        self.total_in += chunk.length
+        while self._data_waiters:
+            self._data_waiters.popleft().succeed()
+
+    # -- consumer side -----------------------------------------------------
+
+    def wait_data(self) -> Event:
+        """Event that fires when at least one chunk is buffered."""
+        event = self.sim.event(name=f"data:{self.name}")
+        if self._chunks:
+            event.succeed()
+        else:
+            self._data_waiters.append(event)
+        return event
+
+    def pop(self) -> Chunk:
+        """Remove and return the oldest chunk."""
+        if not self._chunks:
+            raise CABError(f"{self.name}: pop from empty FIFO")
+        chunk = self._chunks.popleft()
+        self.level -= chunk.length
+        self.total_out += chunk.length
+        self._grant_space()
+        return chunk
+
+    def peek(self) -> Chunk:
+        """The oldest chunk without removing it (raises when empty)."""
+        if not self._chunks:
+            raise CABError(f"{self.name}: peek at empty FIFO")
+        return self._chunks[0]
+
+    def drain(self) -> list[Chunk]:
+        """Remove everything (used when a corrupted frame is discarded)."""
+        chunks = list(self._chunks)
+        self._chunks.clear()
+        self.level = 0
+        self.total_out += sum(chunk.length for chunk in chunks)
+        self._grant_space()
+        return chunks
+
+    # -- internal ------------------------------------------------------------
+
+    def _grant_space(self) -> None:
+        while self._space_waiters and self.free >= self._space_waiters[0][0]:
+            _nbytes, event = self._space_waiters.popleft()
+            event.succeed()

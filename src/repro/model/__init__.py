@@ -1,0 +1,13 @@
+"""Timing/cost model and measurement statistics."""
+
+from repro.model.costs import CostModel, DEFAULT_COSTS
+from repro.model.stats import Counter, LatencyRecorder, StatsRegistry, ThroughputMeter
+
+__all__ = [
+    "CostModel",
+    "Counter",
+    "DEFAULT_COSTS",
+    "LatencyRecorder",
+    "StatsRegistry",
+    "ThroughputMeter",
+]

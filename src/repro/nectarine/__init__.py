@@ -1,0 +1,20 @@
+"""Nectarine: the Nectar application interface (paper Sec. 3.5).
+
+A library linked into the application's address space that presents the
+*same* procedural interface on the CAB and on the host: mailbox creation and
+access, datagram / reliable-message / request-response communication, RPC,
+and remote mailbox and task creation on other nodes.
+"""
+
+from repro.nectarine.naming import MailboxAddress, NameService
+from repro.nectarine.api import CabNectarine, HostNectarine, Nectarine
+from repro.nectarine.tasks import TaskRegistry
+
+__all__ = [
+    "CabNectarine",
+    "HostNectarine",
+    "MailboxAddress",
+    "NameService",
+    "Nectarine",
+    "TaskRegistry",
+]

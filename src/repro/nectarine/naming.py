@@ -1,0 +1,65 @@
+"""Network-wide mailbox addressing and the name service.
+
+A mailbox has a network-wide address (paper Sec. 3.3): (node id, port).
+The :class:`NameService` maps human-readable service names to addresses so
+applications can find each other; in the real system this was a well-known
+directory, which we model as shared state (it is not on any timing path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from repro.errors import AddressError
+
+__all__ = ["MailboxAddress", "NameService"]
+
+
+@dataclass(frozen=True)
+class MailboxAddress:
+    """A network-wide mailbox address."""
+
+    node_id: int
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.node_id}:{self.port}"
+
+
+class NameService:
+    """Service name -> mailbox address directory."""
+
+    def __init__(self):
+        self._names: Dict[str, MailboxAddress] = {}
+        self._next_port: Dict[int, int] = {}
+
+    def allocate_port(self, node_id: int) -> int:
+        """A fresh port number on a node (Nectarine-managed range)."""
+        port = self._next_port.get(node_id, 0x1000)
+        self._next_port[node_id] = port + 1
+        return port
+
+    def publish(self, name: str, address: MailboxAddress) -> None:
+        """Bind a service name to a mailbox address."""
+        if name in self._names:
+            raise AddressError(f"service name {name!r} already published")
+        self._names[name] = address
+
+    def withdraw(self, name: str) -> None:
+        """Remove a published service name."""
+        if name not in self._names:
+            raise AddressError(f"service name {name!r} is not published")
+        del self._names[name]
+
+    def lookup(self, name: str) -> MailboxAddress:
+        """The address behind a service name (raises if unknown)."""
+        if name not in self._names:
+            raise AddressError(f"unknown service name {name!r}")
+        return self._names[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)

@@ -1,0 +1,20 @@
+"""Protocol implementations on the CAB (paper Sec. 4).
+
+The datalink layer, IP (with fragmentation/reassembly), ICMP, UDP, TCP, and
+the Nectar-specific transports (datagram, reliable message, request-response)
+all run on the CAB runtime, structured exactly as the paper describes:
+time-critical functions in interrupt handlers and mailbox upcalls, the rest
+in system threads, with mailboxes managing all data areas so nothing is
+copied between receipt and presentation to the user.
+"""
+
+from repro.protocols.checksum import internet_checksum, verify_checksum
+from repro.protocols.datalink import Datalink
+from repro.protocols.ip import IPProtocol
+
+__all__ = [
+    "Datalink",
+    "IPProtocol",
+    "internet_checksum",
+    "verify_checksum",
+]

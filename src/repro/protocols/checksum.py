@@ -1,0 +1,66 @@
+"""The Internet checksum (RFC 1071), computed for real.
+
+TCP and UDP on the CAB compute this in software — the per-byte CPU cost is
+the dominant difference between TCP/IP and the Nectar reliable message
+protocol in Figure 7 ("The performance difference between TCP/IP and RMP is
+mostly due to the cost of doing TCP checksums in software").  The *time* is
+charged by the cost model; the *value* is computed here so corruption is
+genuinely detected end-to-end.
+"""
+
+from __future__ import annotations
+
+__all__ = ["internet_checksum", "ones_complement_add", "verify_checksum"]
+
+
+def ones_complement_add(a: int, b: int) -> int:
+    """16-bit one's-complement addition."""
+    total = a + b
+    return (total & 0xFFFF) + (total >> 16)
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """RFC 1071 checksum of ``data`` (16-bit one's-complement sum, inverted).
+
+    ``initial`` allows incremental computation over pseudo-header + payload.
+    """
+    total = initial
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for index in range(0, length - 1, 2):
+        total += (data[index] << 8) | data[index + 1]
+    if length % 2:
+        total += data[-1] << 8
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def checksum_partial(data: bytes, initial: int = 0) -> int:
+    """Raw (un-inverted) running sum, for multi-piece checksums."""
+    total = initial
+    length = len(data)
+    for index in range(0, length - 1, 2):
+        total += (data[index] << 8) | data[index + 1]
+    if length % 2:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def finish_checksum(partial: int) -> int:
+    """Invert a running sum into the transmitted checksum value."""
+    while partial >> 16:
+        partial = (partial & 0xFFFF) + (partial >> 16)
+    return (~partial) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (with its checksum field in place) sums correctly.
+
+    Per RFC 1071, summing a block that embeds a correct checksum yields
+    0xFFFF (i.e. the inverted sum is zero).
+    """
+    return internet_checksum(data) == 0

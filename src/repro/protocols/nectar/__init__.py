@@ -1,0 +1,23 @@
+"""The Nectar-specific transport protocols (paper Sec. 4).
+
+"The Nectar-specific protocols provide datagram, reliable message, and
+request-response communication.  The reliable message protocol is a simple
+stop-and-wait protocol, and the request-response protocol provides the
+transport mechanism for client-server RPC calls."
+
+None of them computes a software checksum — they rely on the CRC implemented
+by the CAB hardware, which is why RMP outruns TCP in Figure 7.
+"""
+
+from repro.protocols.nectar.transport import NectarTransportLayer
+from repro.protocols.nectar.datagram import DatagramProtocol
+from repro.protocols.nectar.rmp import RMPChannel, RMPProtocol
+from repro.protocols.nectar.reqresp import RequestResponseProtocol
+
+__all__ = [
+    "DatagramProtocol",
+    "NectarTransportLayer",
+    "RMPChannel",
+    "RMPProtocol",
+    "RequestResponseProtocol",
+]

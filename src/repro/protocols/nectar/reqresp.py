@@ -1,0 +1,228 @@
+"""The Nectar request-response protocol: the transport for client-server RPC.
+
+A client sends a REQUEST and blocks for the matching RESPONSE (retrying on
+timeout); a server binds a port to a mailbox, services requests from it, and
+answers with :meth:`RequestResponseProtocol.respond`.  Servers keep a small
+cache of recent responses so a duplicated request (after a lost response) is
+answered without re-executing the handler — the at-most-once behaviour an
+RPC layer wants from its transport.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.cab.cpu import Compute
+from repro.errors import ProtocolError
+from repro.protocols.headers import (
+    NECTAR_KIND_REQUEST,
+    NECTAR_KIND_RESPONSE,
+    NECTAR_PROTO_REQRESP,
+    NectarTransportHeader,
+)
+from repro.protocols.nectar.transport import NectarTransportLayer
+from repro.runtime.kernel import Runtime
+from repro.runtime.mailbox import Mailbox, Message
+from repro.units import ms
+
+__all__ = ["RequestResponseProtocol"]
+
+RPC_RTO_NS = ms(5)
+RPC_MAX_TRIES = 5
+#: Responses remembered per server port for duplicate suppression.
+RESPONSE_CACHE_SIZE = 64
+
+
+class _PendingCall:
+    """Client-side state for one outstanding request."""
+
+    def __init__(self, runtime: Runtime, seq: int):
+        self.seq = seq
+        self.response: Optional[bytes] = None
+        self.mutex = runtime.mutex(f"rpc-call-{seq}")
+        self.cond = runtime.condition(f"rpc-call-{seq}")
+
+
+class RequestResponseProtocol:
+    """The request-response transport of one CAB."""
+
+    def __init__(self, transport: NectarTransportLayer):
+        self.transport = transport
+        self.runtime: Runtime = transport.runtime
+        self.costs = self.runtime.costs
+        self.stats = self.runtime.stats
+        self._next_seq = 1
+        self._next_client_port = 0x4000_0000
+        self._pending: Dict[Tuple[int, int], _PendingCall] = {}  # (client_port, seq)
+        self._server_ports: Dict[int, Mailbox] = {}
+        self._response_cache: Dict[int, OrderedDict] = {}
+        transport.register(NECTAR_PROTO_REQRESP, self._input)
+
+    # -- server side ---------------------------------------------------------
+
+    def serve(self, port: int, request_mailbox: Mailbox) -> None:
+        """Bind a server port: requests are delivered (with their transport
+        header left in place) into ``request_mailbox``."""
+        if port in self._server_ports:
+            raise ProtocolError(f"request-response port {port} already served")
+        self._server_ports[port] = request_mailbox
+        self._response_cache[port] = OrderedDict()
+
+    def respond(
+        self, request_header: NectarTransportHeader, data: bytes
+    ) -> Generator:
+        """Thread-context: answer a request (the header names the client)."""
+        yield Compute(self.costs.nectar_reqresp_ns)
+        port = request_header.dst_port
+        cache = self._response_cache.get(port)
+        if cache is not None:
+            key = (request_header.src_node, request_header.src_port, request_header.seq)
+            cache[key] = data
+            while len(cache) > RESPONSE_CACHE_SIZE:
+                cache.popitem(last=False)
+        yield from self._send_response(request_header, data)
+
+    def _send_response(
+        self, request_header: NectarTransportHeader, data: bytes
+    ) -> Generator:
+        msg = yield from self.transport.input_mailbox.begin_put(
+            NectarTransportHeader.SIZE + len(data)
+        )
+        yield Compute(self.costs.cab_memcpy_ns(len(data)))
+        msg.write(NectarTransportHeader.SIZE, data)
+        header = NectarTransportHeader(
+            protocol=NECTAR_PROTO_REQRESP,
+            kind=NECTAR_KIND_RESPONSE,
+            seq=request_header.seq,
+            src_port=request_header.dst_port,
+            dst_node=request_header.src_node,
+            dst_port=request_header.src_port,
+        )
+        self.stats.add("rpc_responses_out")
+        yield from self.transport.send_message(header, msg)
+
+    # -- client side ----------------------------------------------------------
+
+    def allocate_client_port(self) -> int:
+        """A unique reply port for one client."""
+        port = self._next_client_port
+        self._next_client_port += 1
+        return port
+
+    def request(
+        self,
+        client_port: int,
+        dst_node: int,
+        dst_port: int,
+        data: bytes,
+        timeout_ns: int = RPC_RTO_NS,
+    ) -> Generator:
+        """Thread-context: send a request, block for the response bytes."""
+        ops = self.runtime.ops
+        yield Compute(self.costs.nectar_reqresp_ns)
+        seq = self._next_seq
+        self._next_seq += 1
+        call = _PendingCall(self.runtime, seq)
+        self._pending[(client_port, seq)] = call
+        tries = 0
+        try:
+            while tries < RPC_MAX_TRIES:
+                tries += 1
+                if tries > 1:
+                    self.stats.add("rpc_retries")
+                msg = yield from self.transport.input_mailbox.begin_put(
+                    NectarTransportHeader.SIZE + len(data)
+                )
+                yield Compute(self.costs.cab_memcpy_ns(len(data)))
+                msg.write(NectarTransportHeader.SIZE, data)
+                header = NectarTransportHeader(
+                    protocol=NECTAR_PROTO_REQRESP,
+                    kind=NECTAR_KIND_REQUEST,
+                    seq=seq,
+                    src_port=client_port,
+                    dst_node=dst_node,
+                    dst_port=dst_port,
+                )
+                self.stats.add("rpc_requests_out")
+                yield from self.transport.send_message(header, msg)
+                yield from ops.lock(call.mutex)
+                while call.response is None:
+                    signalled = yield from ops.timed_wait(
+                        call.cond, call.mutex, timeout_ns
+                    )
+                    if not signalled:
+                        break
+                response = call.response
+                yield from ops.unlock(call.mutex)
+                if response is not None:
+                    return response
+            raise ProtocolError(
+                f"RPC request to node {dst_node} port {dst_port} timed out "
+                f"after {RPC_MAX_TRIES} tries"
+            )
+        finally:
+            del self._pending[(client_port, seq)]
+
+    # -- receive demux (interrupt context) ----------------------------------------
+
+    def _input(self, msg: Message, header: NectarTransportHeader) -> Generator:
+        yield Compute(self.costs.nectar_reqresp_ns)
+        if header.kind == NECTAR_KIND_REQUEST:
+            yield from self._input_request(msg, header)
+        elif header.kind == NECTAR_KIND_RESPONSE:
+            yield from self._input_response(msg, header)
+        else:
+            self.stats.add("rpc_malformed")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+
+    def _input_request(self, msg: Message, header: NectarTransportHeader) -> Generator:
+        mailbox = self._server_ports.get(header.dst_port)
+        if mailbox is None:
+            self.stats.add("rpc_no_port")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            return
+        cache = self._response_cache[header.dst_port]
+        key = (header.src_node, header.src_port, header.seq)
+        if key in cache:
+            # Duplicate request: replay the cached response (still at
+            # interrupt time) instead of re-running the server.
+            self.stats.add("rpc_duplicate_requests")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            yield from self._replay_response(header, cache[key])
+            return
+        self.stats.add("rpc_requests_in")
+        # Deliver with the transport header in place so the server can reply.
+        yield from self.transport.input_mailbox.ienqueue(msg, mailbox)
+
+    def _replay_response(
+        self, request_header: NectarTransportHeader, data: bytes
+    ) -> Generator:
+        msg = yield from self.transport.input_mailbox.ibegin_put(
+            NectarTransportHeader.SIZE + len(data)
+        )
+        if msg is None:
+            return
+        yield Compute(self.costs.cab_memcpy_ns(len(data)))
+        msg.write(NectarTransportHeader.SIZE, data)
+        header = NectarTransportHeader(
+            protocol=NECTAR_PROTO_REQRESP,
+            kind=NECTAR_KIND_RESPONSE,
+            seq=request_header.seq,
+            src_port=request_header.dst_port,
+            dst_node=request_header.src_node,
+            dst_port=request_header.src_port,
+        )
+        yield from self.transport.send_message(header, msg)
+
+    def _input_response(self, msg: Message, header: NectarTransportHeader) -> Generator:
+        call = self._pending.get((header.dst_port, header.seq))
+        if call is None:
+            self.stats.add("rpc_orphan_responses")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            return
+        data = msg.read(NectarTransportHeader.SIZE)
+        yield from self.transport.input_mailbox.iabort_put(msg)
+        call.response = data
+        self.stats.add("rpc_responses_in")
+        self.runtime.ops.signal_nocost(call.cond)

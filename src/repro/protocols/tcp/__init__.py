@@ -1,0 +1,32 @@
+"""TCP on the CAB (paper Sec. 4.2).
+
+The Nectar TCP implementation runs almost entirely in system threads rather
+than at interrupt time, which lets shared state be protected with mutual
+exclusion locks instead of by disabling interrupts.  Three threads per CAB:
+
+* the **input thread** blocks on Begin_Get of the TCP input mailbox, then
+  checksums and processes each segment;
+* the **send thread** services the send-request mailbox (CAB-resident
+  senders may bypass it and call the output routine directly);
+* the **timer thread** drives retransmission and TIME_WAIT expiry.
+"""
+
+from repro.protocols.tcp.connection import (
+    TCPConnection,
+    TCPState,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+)
+from repro.protocols.tcp.tcp import TCPProtocol
+
+__all__ = [
+    "TCPConnection",
+    "TCPProtocol",
+    "TCPState",
+    "seq_ge",
+    "seq_gt",
+    "seq_le",
+    "seq_lt",
+]

@@ -1,0 +1,246 @@
+"""TCP connection state: the TCB, sequence arithmetic, unacked segments."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.units import ms
+
+__all__ = [
+    "SEQ_MOD",
+    "TCPConnection",
+    "TCPState",
+    "UnackedSegment",
+    "seq_add",
+    "seq_ge",
+    "seq_gt",
+    "seq_le",
+    "seq_lt",
+]
+
+SEQ_MOD = 1 << 32
+
+
+def seq_add(seq: int, delta: int) -> int:
+    """Sequence-space addition (mod 2^32)."""
+    return (seq + delta) % SEQ_MOD
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """a < b in 32-bit sequence space (RFC 793 wraparound comparison)."""
+    return ((a - b) % SEQ_MOD) > (SEQ_MOD >> 1)
+
+
+def seq_le(a: int, b: int) -> bool:
+    """a <= b in sequence space."""
+    return a == b or seq_lt(a, b)
+
+
+def seq_gt(a: int, b: int) -> bool:
+    """a > b in sequence space."""
+    return seq_lt(b, a)
+
+
+def seq_ge(a: int, b: int) -> bool:
+    """a >= b in sequence space."""
+    return a == b or seq_lt(b, a)
+
+
+class TCPState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+
+@dataclass
+class UnackedSegment:
+    """One in-flight segment kept for possible retransmission."""
+
+    seq: int
+    length: int  # payload bytes (SYN/FIN occupy sequence space but carry 0)
+    data: bytes
+    flags: int
+    sent_ns: int
+    retransmits: int = 0
+    rtt_eligible: bool = True  # Karn: retransmitted segments don't update RTT
+
+
+#: Default receive window we advertise (bytes).
+DEFAULT_RCV_WND = 32 * 1024
+#: Send buffer limit: senders block above this much unsent+unacked data.
+DEFAULT_SND_BUF = 64 * 1024
+#: Initial retransmission timeout and its bounds.
+INITIAL_RTO_NS = ms(50)
+MIN_RTO_NS = ms(10)
+MAX_RTO_NS = ms(2_000)
+#: Give up after this many retransmissions of one segment.
+MAX_RETRANSMITS = 8
+#: TIME_WAIT duration (2*MSL, scaled for a LAN simulation).
+TIME_WAIT_NS = ms(100)
+
+
+class TCPConnection:
+    """The TCB plus user-facing send/receive plumbing.
+
+    All fields are protected by the owning TCPProtocol's lock; user-facing
+    methods live on :class:`~repro.protocols.tcp.tcp.TCPProtocol`.
+    """
+
+    _next_id = 1
+
+    def __init__(
+        self,
+        tcp,
+        local_port: int,
+        remote_ip: int,
+        remote_port: int,
+        receive_mailbox,
+    ):
+        self.tcp = tcp
+        self.conn_id = TCPConnection._next_id
+        TCPConnection._next_id += 1
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.receive_mailbox = receive_mailbox
+        self.state = TCPState.CLOSED
+
+        # Send side.
+        self.iss = (0x1000 * self.conn_id) % SEQ_MOD
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.snd_wnd = DEFAULT_RCV_WND
+        self.send_buffer = bytearray()  # data not yet put on the wire
+        self.unacked: list[UnackedSegment] = []
+        self.fin_pending = False  # user closed; FIN still to be sent
+        self.fin_sent = False
+
+        # Receive side.
+        self.irs = 0
+        self.rcv_nxt = 0
+        self.rcv_wnd = DEFAULT_RCV_WND
+        self.out_of_order: list[tuple[int, bytes]] = []
+        self.fin_received = False
+
+        # RTT estimation (RFC 793 style smoothed RTT + Jacobson variance).
+        self.srtt_ns: Optional[int] = None
+        self.rttvar_ns: int = 0
+        self.rto_ns = INITIAL_RTO_NS
+        self.rto_deadline_ns: Optional[int] = None
+
+        # Congestion control (Tahoe-style, 1988-era; enabled per protocol).
+        # cwnd/ssthresh are in bytes; inactive unless tcp.congestion_control.
+        self.cwnd = 0  # set by the protocol once the MSS is known
+        self.ssthresh = DEFAULT_RCV_WND
+
+        # Synchronization (created by the protocol, which owns the runtime).
+        ops = tcp.runtime
+        self.established_cond = ops.condition(f"tcp{self.conn_id}-established")
+        self.closed_cond = ops.condition(f"tcp{self.conn_id}-closed")
+        self.send_space_cond = ops.condition(f"tcp{self.conn_id}-sndspace")
+        self.error: Optional[str] = None
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def four_tuple(self) -> tuple[int, int, int]:
+        return (self.local_port, self.remote_ip, self.remote_port)
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return (self.snd_nxt - self.snd_una) % SEQ_MOD
+
+    @property
+    def effective_window(self) -> int:
+        """Peer window, clipped by cwnd when congestion control is on."""
+        if self.cwnd:
+            return min(self.snd_wnd, self.cwnd)
+        return self.snd_wnd
+
+    @property
+    def send_window_avail(self) -> int:
+        return max(0, self.effective_window - self.bytes_in_flight)
+
+    # -- congestion control (Tahoe) ----------------------------------------------
+
+    def congestion_ack(self, acked_bytes: int, mss: int) -> None:
+        """Grow cwnd on new data acked: slow start, then linear avoidance."""
+        if not self.cwnd:
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(acked_bytes, mss)  # slow start: ~double per RTT
+        else:
+            self.cwnd += max(1, mss * mss // self.cwnd)  # congestion avoidance
+
+    def congestion_timeout(self, mss: int) -> None:
+        """On retransmission timeout: halve the threshold, restart from 1 MSS."""
+        if not self.cwnd:
+            return
+        self.ssthresh = max(2 * mss, self.effective_window // 2)
+        self.cwnd = mss
+
+    @property
+    def send_buffer_full(self) -> bool:
+        return len(self.send_buffer) + self.bytes_in_flight >= DEFAULT_SND_BUF
+
+    def advertised_window(self) -> int:
+        """Receive window: capacity minus what the user has not consumed."""
+        queued = sum(m.size for m in self.receive_mailbox.queue)
+        return max(0, min(0xFFFF, self.rcv_wnd - queued))
+
+    # -- RTT / RTO ------------------------------------------------------------
+
+    def record_rtt(self, sample_ns: int) -> None:
+        """Jacobson/Karels RTO update."""
+        if self.srtt_ns is None:
+            self.srtt_ns = sample_ns
+            self.rttvar_ns = sample_ns // 2
+        else:
+            delta = sample_ns - self.srtt_ns
+            self.srtt_ns += delta // 8
+            self.rttvar_ns += (abs(delta) - self.rttvar_ns) // 4
+        rto = self.srtt_ns + 4 * self.rttvar_ns
+        self.rto_ns = max(MIN_RTO_NS, min(MAX_RTO_NS, rto))
+
+    def backoff_rto(self) -> None:
+        """Exponential RTO backoff (capped)."""
+        self.rto_ns = min(MAX_RTO_NS, self.rto_ns * 2)
+
+    # -- out-of-order reassembly --------------------------------------------------
+
+    def stash_out_of_order(self, seq: int, data: bytes) -> None:
+        """Keep an out-of-order byte range (sorted, naive overlap handling)."""
+        self.out_of_order.append((seq, data))
+        self.out_of_order.sort(key=lambda item: (item[0] - self.rcv_nxt) % SEQ_MOD)
+
+    def drain_in_order(self) -> bytes:
+        """Pull now-contiguous bytes from the out-of-order store."""
+        delivered = bytearray()
+        while self.out_of_order:
+            seq, data = self.out_of_order[0]
+            if seq_gt(seq, self.rcv_nxt):
+                break
+            self.out_of_order.pop(0)
+            offset = (self.rcv_nxt - seq) % SEQ_MOD
+            if offset >= len(data):
+                continue  # entirely duplicate
+            chunk = data[offset:]
+            delivered.extend(chunk)
+            self.rcv_nxt = seq_add(self.rcv_nxt, len(chunk))
+        return bytes(delivered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TCPConnection #{self.conn_id} {self.state.value} "
+            f"lport={self.local_port} rport={self.remote_port}>"
+        )

@@ -1,0 +1,23 @@
+"""The CAB runtime system (paper Sec. 3).
+
+Threads, mailboxes, syncs, and host-CAB signaling — the flexible substrate
+that lets transport protocols and application-specific tasks share the
+communication processor.
+"""
+
+from repro.runtime.heap import BufferHeap
+from repro.runtime.kernel import Runtime
+from repro.runtime.mailbox import Mailbox, Message
+from repro.runtime.syncs import Sync, SyncPool
+from repro.runtime.threads import Condition, Mutex
+
+__all__ = [
+    "BufferHeap",
+    "Condition",
+    "Mailbox",
+    "Message",
+    "Mutex",
+    "Runtime",
+    "Sync",
+    "SyncPool",
+]

@@ -1,0 +1,125 @@
+"""The Runtime: everything Sec. 3 of the paper, assembled per CAB.
+
+One :class:`Runtime` instance per CAB owns the threads package, the buffer
+heap (in the CAB's data memory, above a small control-structure reserve),
+the mailbox namespace, the sync pools, and the signal queues shared with
+the host.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Optional
+
+from repro.cab.board import CAB, DATA_MEMORY_BYTES
+from repro.cab.cpu import Compute, PRIORITY_APPLICATION, PRIORITY_SYSTEM, TCB, WaitToken
+from repro.errors import ConfigurationError
+from repro.model.stats import StatsRegistry
+from repro.runtime.heap import BufferHeap
+from repro.runtime.mailbox import Mailbox, Message
+from repro.runtime.threads import Condition, Mutex, ThreadOps
+from repro.sim.trace import Tracer
+from repro.units import KB
+
+__all__ = ["Runtime"]
+
+#: Low data memory reserved for control structures (host conditions, signal
+#: queues, sync pools) rather than the message heap.
+CONTROL_RESERVE_BYTES = 64 * KB
+
+
+class Runtime:
+    """The CAB runtime system."""
+
+    def __init__(self, cab: CAB, tracer: Optional[Tracer] = None):
+        self.cab = cab
+        self.sim = cab.sim
+        self.costs = cab.costs
+        self.cpu = cab.cpu
+        self.name = cab.name
+        self.ops = ThreadOps(cab.cpu, cab.costs)
+        self.heap = BufferHeap(
+            base=CONTROL_RESERVE_BYTES,
+            size=DATA_MEMORY_BYTES - CONTROL_RESERVE_BYTES,
+            name=f"{cab.name}.heap",
+        )
+        self.heap_waiters: Deque[WaitToken] = deque()
+        #: Plain callables poked when heap space frees (host-side waiters).
+        self.heap_space_hooks: list = []
+        self.mailboxes: Dict[str, Mailbox] = {}
+        self.tracer = tracer if tracer is not None else Tracer(lambda: cab.sim.now)
+        self.stats = StatsRegistry()
+
+    # ------------------------------------------------------------- mailboxes
+
+    def mailbox(self, name: str, cached_buffer_bytes: int = 128) -> Mailbox:
+        """Create a named mailbox (names are unique per CAB)."""
+        if name in self.mailboxes:
+            raise ConfigurationError(f"{self.name}: mailbox {name!r} already exists")
+        mbox = Mailbox(self, name, cached_buffer_bytes=cached_buffer_bytes)
+        self.mailboxes[name] = mbox
+        return mbox
+
+    def lookup_mailbox(self, name: str) -> Mailbox:
+        """The named mailbox (raises if it does not exist)."""
+        if name not in self.mailboxes:
+            raise ConfigurationError(f"{self.name}: no mailbox named {name!r}")
+        return self.mailboxes[name]
+
+    def wake_heap_waiters(self) -> None:
+        """Called when heap space is freed: retry all blocked Begin_Puts."""
+        waiters, self.heap_waiters = self.heap_waiters, deque()
+        for token in waiters:
+            if not token.cancelled and not token.fired:
+                self.cpu.wake(token)
+        for hook in self.heap_space_hooks:
+            hook()
+
+    # ---------------------------------------------------------- thread sugar
+
+    def fork_system(self, gen: Generator, name: str) -> TCB:
+        """Spawn a system-priority thread (no caller CPU charge)."""
+        return self.cpu.add_thread(gen, priority=PRIORITY_SYSTEM, name=name)
+
+    def fork_application(self, gen: Generator, name: str) -> TCB:
+        """Spawn an application-priority thread (no caller CPU charge)."""
+        return self.cpu.add_thread(gen, priority=PRIORITY_APPLICATION, name=name)
+
+    def mutex(self, name: str = "mutex") -> Mutex:
+        """A fresh mutex, named under this CAB."""
+        return Mutex(name=f"{self.name}.{name}")
+
+    def condition(self, name: str = "cond") -> Condition:
+        """A fresh condition variable, named under this CAB."""
+        return Condition(name=f"{self.name}.{name}")
+
+    # -------------------------------------------------------- message helpers
+
+    def fill_message(self, msg: Message, data: bytes, offset: int = 0) -> Generator:
+        """Thread-context: copy ``data`` into a message (CPU memcpy cost)."""
+        yield Compute(self.costs.cab_memcpy_ns(len(data)))
+        msg.write(offset, data)
+
+    def read_message(self, msg: Message, offset: int = 0, size: Optional[int] = None) -> Generator:
+        """Thread-context: copy data out of a message (CPU memcpy cost)."""
+        if size is None:
+            size = msg.size - offset
+        yield Compute(self.costs.cab_memcpy_ns(size))
+        return msg.read(offset, size)
+
+    def checksum_message(self, msg: Message, offset: int = 0, size: Optional[int] = None) -> Generator:
+        """Thread-context: software Internet checksum over message bytes.
+
+        This is the cost TCP pays and RMP avoids (Fig. 7).  Returns the
+        16-bit checksum value; the time charged is the per-byte software
+        checksum cost on the CAB CPU.
+        """
+        from repro.protocols.checksum import internet_checksum
+
+        if size is None:
+            size = msg.size - offset
+        yield Compute(self.costs.cab_checksum_ns(size))
+        return internet_checksum(msg.read(offset, size))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Runtime {self.name}>"

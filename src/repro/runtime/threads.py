@@ -1,0 +1,188 @@
+"""The threads package: mutexes and condition variables.
+
+Derived (conceptually) from the Mach C Threads package, as the paper's
+runtime was (Sec. 3.1): forking and joining of threads, mutual exclusion
+with locks, and synchronization by means of condition variables, on top of
+the preemptive priority scheduler in :mod:`repro.cab.cpu`.
+
+All operations here are *thread-context generators*: call them with
+``yield from`` inside a thread body.  Interrupt handlers may use the
+``i``-prefixed variants, which never block (paper Sec. 3.1 discusses exactly
+this split between handler and thread context).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.cab.cpu import CPU, Block, Compute, TCB, WaitToken
+from repro.errors import NectarError
+from repro.model.costs import CostModel
+
+__all__ = ["Condition", "Mutex", "ThreadOps"]
+
+#: Sentinel values distinguishing why a timed wait returned.
+WAIT_SIGNALED = "signaled"
+WAIT_TIMEOUT = "timeout"
+
+
+class Mutex:
+    """A mutual exclusion lock with FIFO wakeup (barging allowed)."""
+
+    def __init__(self, name: str = "mutex"):
+        self.name = name
+        self.owner: Optional[TCB] = None
+        self.waiters: Deque[WaitToken] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = self.owner.name if self.owner else None
+        return f"<Mutex {self.name} owner={owner} waiters={len(self.waiters)}>"
+
+
+class Condition:
+    """A condition variable (Mesa semantics)."""
+
+    def __init__(self, name: str = "cond"):
+        self.name = name
+        self.waiters: Deque[WaitToken] = deque()
+
+    @property
+    def waiting(self) -> int:
+        return sum(
+            1 for token in self.waiters if not token.fired and not token.cancelled
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Condition {self.name} waiting={self.waiting}>"
+
+
+class ThreadOps:
+    """Thread/synchronization operations bound to one CPU and cost model."""
+
+    def __init__(self, cpu: CPU, costs: CostModel):
+        self.cpu = cpu
+        self.costs = costs
+
+    # -- basic thread operations ------------------------------------------------
+
+    def fork(self, gen: Generator, name: str = "thread", priority: int = 1) -> Generator:
+        """Thread-context fork: charge the fork cost, return the new TCB."""
+        yield Compute(self.costs.rt_fork_ns)
+        return self.cpu.add_thread(gen, priority=priority, name=name)
+
+    def join(self, tcb: TCB) -> Generator:
+        """Block until ``tcb`` terminates; returns its result."""
+        yield Compute(self.costs.rt_lock_ns)
+        if not tcb.alive:
+            return tcb.result
+        token = WaitToken(name=f"join:{tcb.name}")
+        tcb.join_tokens.append(token)
+        result = yield Block(token)
+        return result
+
+    def sleep(self, ns: int) -> Generator:
+        """Block the calling thread for ``ns`` simulated nanoseconds."""
+        if ns < 0:
+            raise NectarError(f"negative sleep {ns}")
+        token = WaitToken(name="sleep")
+        self.cpu.wake_after(token, ns)
+        yield Block(token)
+
+    def yield_cpu(self) -> Generator:
+        """Voluntarily relinquish the processor (round-robin)."""
+        from repro.cab.cpu import YieldCPU
+
+        yield YieldCPU()
+
+    # -- mutexes --------------------------------------------------------------
+
+    def lock(self, mutex: Mutex) -> Generator:
+        """Acquire a mutex, blocking while another thread owns it."""
+        yield Compute(self.costs.rt_lock_ns)
+        while mutex.owner is not None:
+            if mutex.owner is self.cpu.current:
+                raise NectarError(
+                    f"thread {self.cpu.current.name} relocking mutex "
+                    f"{mutex.name} it already owns"
+                )
+            token = WaitToken(name=f"lock:{mutex.name}")
+            mutex.waiters.append(token)
+            yield Block(token)
+        mutex.owner = self.cpu.current
+
+    def unlock(self, mutex: Mutex) -> Generator:
+        """Release a mutex owned by the calling thread."""
+        if mutex.owner is not self.cpu.current:
+            raise NectarError(
+                f"unlock of {mutex.name} by non-owner "
+                f"{self.cpu.current.name if self.cpu.current else '<none>'}"
+            )
+        yield Compute(self.costs.rt_lock_ns)
+        mutex.owner = None
+        self._wake_one(mutex.waiters)
+
+    # -- condition variables -----------------------------------------------------
+
+    def wait(self, cond: Condition, mutex: Mutex) -> Generator:
+        """Release ``mutex``, block on ``cond``, reacquire ``mutex``."""
+        yield Compute(self.costs.rt_wait_ns)
+        token = WaitToken(name=f"wait:{cond.name}")
+        cond.waiters.append(token)
+        yield from self.unlock(mutex)
+        yield Block(token)
+        yield from self.lock(mutex)
+
+    def timed_wait(self, cond: Condition, mutex: Mutex, timeout_ns: int) -> Generator:
+        """Like :meth:`wait` with a timeout.
+
+        Returns True if signalled, False if the timeout fired first.
+        """
+        yield Compute(self.costs.rt_wait_ns)
+        token = WaitToken(name=f"timed-wait:{cond.name}")
+        cond.waiters.append(token)
+        self.cpu.wake_after(token, timeout_ns, value=WAIT_TIMEOUT)
+        yield from self.unlock(mutex)
+        why = yield Block(token)
+        token.cancelled = True  # a later signal must skip this token
+        yield from self.lock(mutex)
+        return why != WAIT_TIMEOUT
+
+    def signal(self, cond: Condition) -> Generator:
+        """Thread-context signal: wake one waiter."""
+        yield Compute(self.costs.rt_signal_ns)
+        self._wake_one(cond.waiters, value=WAIT_SIGNALED)
+
+    def broadcast(self, cond: Condition) -> Generator:
+        """Wake every waiter of a condition variable."""
+        yield Compute(self.costs.rt_signal_ns)
+        while self._wake_one(cond.waiters, value=WAIT_SIGNALED):
+            pass
+
+    def isignal(self, cond: Condition) -> Generator:
+        """Interrupt-context signal: identical cost, never blocks.
+
+        (Signalling never blocks anyway; this alias documents intent at call
+        sites inside interrupt handlers.)
+        """
+        yield Compute(self.costs.rt_signal_ns)
+        self._wake_one(cond.waiters, value=WAIT_SIGNALED)
+
+    def signal_nocost(self, cond: Condition) -> bool:
+        """Plain-call signal for device callbacks (no CPU context at all)."""
+        return self._wake_one(cond.waiters, value=WAIT_SIGNALED)
+
+    # -- internal ---------------------------------------------------------------
+
+    def _wake_one(self, waiters: Deque[WaitToken], value: Any = None) -> bool:
+        while waiters:
+            token = waiters.popleft()
+            if token.cancelled or token.fired:
+                continue
+            self.cpu.wake(token, value)
+            return True
+        return False

@@ -1,0 +1,432 @@
+"""Core of the discrete-event simulation kernel.
+
+The kernel is deliberately small and deterministic:
+
+* Simulated time is an integer number of nanoseconds (``sim.now``).
+* An :class:`Event` is a one-shot occurrence that carries a value (or an
+  exception) and a list of callbacks.
+* A :class:`Process` wraps a Python generator.  The generator *yields* events;
+  when a yielded event fires, the generator is resumed with the event's value
+  (or the event's exception is thrown into it).  A process is itself an event
+  that fires when the generator terminates, so processes can be joined by
+  yielding them.
+* :meth:`Process.interrupt` injects an :class:`Interrupt` exception at the
+  process's current yield point.  This is how preemption and device
+  cancellation are modelled throughout the library.
+
+Events scheduled for the same nanosecond fire in the order they were
+scheduled (a monotonically increasing sequence number breaks ties), so runs
+are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    ``cause`` is the object passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the queue, not yet fired
+_FIRED = 2
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail` schedules
+    the event to fire at the current simulation time; callbacks then run in
+    registration order.  Processes wait for an event by yielding it.
+    """
+
+    __slots__ = ("sim", "callbacks", "value", "_exc", "_state", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self.value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = _PENDING
+        self.name = name
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (succeed/fail called)."""
+        return self._state != _PENDING
+
+    @property
+    def fired(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _FIRED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (no exception)."""
+        return self._state == _FIRED and self._exc is None
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Schedule this event to fire successfully after ``delay`` ns."""
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._state = _TRIGGERED
+        self.value = value
+        self.sim._schedule(delay, self)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        """Schedule this event to fire with an exception after ``delay`` ns."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._state = _TRIGGERED
+        self._exc = exc
+        self.sim._schedule(delay, self)
+        return self
+
+    # -- internal -----------------------------------------------------------
+
+    def _fire(self) -> None:
+        self._state = _FIRED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or type(self).__name__
+        return f"<{label} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self._state = _TRIGGERED
+        self.value = value
+        sim._schedule(delay, self)
+
+
+class _Resumption:
+    """Callback token binding a process to the event it is waiting on.
+
+    When a process is interrupted while waiting, the old token is defused so
+    the event's later firing does not resume the process a second time.
+    """
+
+    __slots__ = ("process", "live")
+
+    def __init__(self, process: "Process"):
+        self.process = process
+        self.live = True
+
+    def __call__(self, event: Event) -> None:
+        if self.live:
+            self.live = False
+            self.process._resume(event)
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    The wrapped generator yields :class:`Event` objects.  The process itself
+    is an event that fires when the generator returns (its value is the
+    generator's return value) or raises (the process event fails).
+    """
+
+    __slots__ = ("_gen", "_resumption", "_started")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"process body must be a generator, got {gen!r}")
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._resumption: Optional[_Resumption] = None
+        self._started = False
+        # Kick off the generator at the current simulation time.
+        start = Event(sim, name=f"start:{self.name}")
+        start.callbacks.append(lambda _ev: self._first_step())
+        start.succeed()
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        The interrupt is delivered immediately (synchronously).  Interrupting
+        a terminated process is an error; interrupting a process that has not
+        yet had its first step is allowed and kills it before it starts.
+        """
+        if not self.alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._resumption is not None:
+            self._resumption.live = False
+            self._resumption = None
+        self._step(Interrupt(cause), is_exc=True)
+
+    # -- driving the generator ----------------------------------------------
+
+    def _first_step(self) -> None:
+        if self._started or not self.alive:
+            return
+        self._started = True
+        self._step(None, is_exc=False)
+
+    def _resume(self, event: Event) -> None:
+        self._resumption = None
+        if event._exc is not None:
+            self._step(event._exc, is_exc=True)
+        else:
+            self._step(event.value, is_exc=False)
+
+    def _step(self, value: Any, is_exc: bool) -> None:
+        self._started = True
+        try:
+            if is_exc:
+                target = self._gen.throw(value)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled Interrupt terminates the process quietly: the
+            # interruptor asked it to die and it complied.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            self.sim._note_failure(self)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(
+                SimulationError(f"process {self.name} yielded non-event {target!r}")
+            )
+            self.sim._note_failure(self)
+            return
+        if target.fired:
+            # Already fired: resume on a fresh zero-delay event to preserve
+            # run-to-yield semantics without recursion blowups.
+            relay = Event(self.sim, name="relay")
+            token = _Resumption(self)
+            self._resumption = token
+            relay.callbacks.append(token)
+            if target._exc is not None:
+                relay.fail(target._exc)
+            else:
+                relay.succeed(target.value)
+        else:
+            token = _Resumption(self)
+            self._resumption = token
+            target.callbacks.append(token)
+
+
+class AnyOf(Event):
+    """Fires when the first of several events fires.
+
+    Value is ``(index, event)`` for the winning event.  If the winner failed,
+    this event fails with the same exception.  Losing events are left alone
+    (their other callbacks still run when they fire).
+    """
+
+    __slots__ = ("_done",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self._done = False
+        events = list(events)
+        if not events:
+            raise SimulationError("any_of() requires at least one event")
+        for index, event in enumerate(events):
+            if event.fired:
+                self._win(index, event)
+                break
+            event.callbacks.append(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def callback(event: Event) -> None:
+            self._win(index, event)
+
+        return callback
+
+    def _win(self, index: int, event: Event) -> None:
+        if self._done:
+            return
+        self._done = True
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed((index, event))
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Event]] = []
+        self._seq = 0
+        self._running = False
+        self._failures: list[Process] = []
+
+    def _note_failure(self, process: Process) -> None:
+        self._failures.append(process)
+
+    def _claim_failure(self, process: Process) -> None:
+        """Mark a failed process as handled (its exception was observed)."""
+        if process in self._failures:
+            self._failures.remove(process)
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh pending one-shot event."""
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Spawn a generator as a simulation process."""
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule(self, delay: int, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} ns in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + int(delay), self._seq, event))
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - guarded by _schedule
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = when
+        event._fire()
+        return True
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulation time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+            else:
+                until = int(until)
+                while self._queue and self._queue[0][0] <= until:
+                    self.step()
+                if self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+        if self._failures:
+            failed = self._failures[0]
+            self._claim_failure(failed)
+            raise failed._exc  # type: ignore[misc]
+        return self.now
+
+    def run_until(self, event: Event, limit: Optional[int] = None) -> Any:
+        """Run until ``event`` fires (or ``limit`` ns pass, or the queue drains).
+
+        Returns the event's value; raises its exception if it failed, and
+        :class:`SimulationError` if the simulation stalled before it fired.
+        """
+        while not event.fired:
+            if self._failures:
+                failed = self._failures[0]
+                self._claim_failure(failed)
+                raise failed._exc  # type: ignore[misc]
+            if limit is not None and self._queue and self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} ns reached before {event!r} fired"
+                )
+            if not self.step():
+                raise SimulationError(
+                    f"simulation stalled at t={self.now} ns before {event!r} fired"
+                )
+        if isinstance(event, Process):
+            self._claim_failure(event)
+        if event._exc is not None:
+            raise event._exc
+        return event.value
+
+    def run_process(self, gen: Generator, name: str = "", until: Optional[int] = None) -> Any:
+        """Convenience: spawn ``gen``, run the simulation, return its value.
+
+        Raises the process's exception if it failed, and
+        :class:`SimulationError` if the queue drained before it finished.
+        """
+        proc = self.process(gen, name=name)
+        self.run(until=until)
+        if proc.alive:
+            raise SimulationError(
+                f"simulation ended at t={self.now} ns with process "
+                f"{proc.name!r} still blocked (deadlock?)"
+            )
+        if proc._exc is not None:
+            raise proc._exc
+        return proc.value
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,79 @@
+"""Tracing and instrumentation hooks.
+
+The Figure 6 latency-breakdown experiment needs per-component timestamps for
+a message as it moves host → CAB → network → CAB → host.  Rather than
+sprinkling ad-hoc prints, every interesting layer emits ``Tracer.emit``
+records; a :class:`TraceRecorder` collects them and can compute intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: what happened, where, and when (ns)."""
+
+    time_ns: int
+    component: str
+    label: str
+    detail: Any = None
+
+
+class Tracer:
+    """A pluggable sink for trace events.
+
+    By default tracing is off (``sink is None``) and :meth:`emit` costs one
+    attribute check.  Attach a :class:`TraceRecorder` (or any callable) to
+    capture records.
+    """
+
+    def __init__(self, clock: Callable[[], int]):
+        self._clock = clock
+        self.sink: Optional[Callable[[TraceEvent], None]] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink is not None
+
+    def emit(self, component: str, label: str, detail: Any = None) -> None:
+        """Record one trace event if a sink is attached (cheap no-op otherwise)."""
+        if self.sink is not None:
+            self.sink(TraceEvent(self._clock(), component, label, detail))
+
+
+@dataclass
+class TraceRecorder:
+    """Collects trace events and answers interval queries."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()
+
+    def find(self, label: str, component: Optional[str] = None) -> TraceEvent:
+        """First event with the given label (and component, if given)."""
+        for event in self.events:
+            if event.label == label and (component is None or event.component == component):
+                return event
+        raise KeyError(f"no trace event labelled {label!r}")
+
+    def find_all(self, label: str) -> list[TraceEvent]:
+        """Every event with the given label, in order."""
+        return [event for event in self.events if event.label == label]
+
+    def interval_ns(self, start_label: str, end_label: str) -> int:
+        """Time between the first occurrences of two labels."""
+        return self.find(end_label).time_ns - self.find(start_label).time_ns
+
+    def labels(self) -> list[str]:
+        """All recorded labels, in order."""
+        return [event.label for event in self.events]

@@ -1,0 +1,163 @@
+"""System builder: assemble a whole Nectar network in a few lines.
+
+:class:`NectarSystem` owns the simulator, cost model, fabric, and node
+registry; :meth:`NectarSystem.add_node` builds one CAB with its complete
+protocol stack (datalink, IP, ICMP, UDP, TCP, and the three Nectar-specific
+transports).  Hosts are attached to nodes by :mod:`repro.host.machine`.
+
+Typical use::
+
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    a = system.add_node("cab-a", hub, 0)
+    b = system.add_node("cab-b", hub, 1)
+    # ... fork threads on a.runtime / b.runtime, then:
+    system.run()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cab.board import CAB
+from repro.errors import ConfigurationError
+from repro.hub.crossbar import Hub
+from repro.hub.network import NectarNetwork
+from repro.model.costs import CostModel, DEFAULT_COSTS
+from repro.protocols.addressing import NodeRegistry
+from repro.protocols.datalink import Datalink
+from repro.protocols.icmp import ICMPProtocol
+from repro.protocols.ip import IPProtocol
+from repro.protocols.nectar.datagram import DatagramProtocol
+from repro.protocols.nectar.reqresp import RequestResponseProtocol
+from repro.protocols.nectar.rmp import RMPProtocol
+from repro.protocols.nectar.transport import NectarTransportLayer
+from repro.protocols.tcp.tcp import TCPProtocol
+from repro.protocols.udp import UDPProtocol
+from repro.runtime.kernel import Runtime
+from repro.sim.core import Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["NectarNode", "NectarSystem"]
+
+
+class NectarNode:
+    """One CAB with its full protocol stack."""
+
+    def __init__(
+        self,
+        system: "NectarSystem",
+        name: str,
+        hub: Hub,
+        port: int,
+        tcp_checksums: bool = True,
+        udp_checksums: bool = True,
+        mtu: int = 9000,
+        ip_input_mode: str = "interrupt",
+        tcp_congestion_control: bool = False,
+    ):
+        self.system = system
+        self.name = name
+        self.cab = CAB(system.sim, system.costs, name)
+        system.network.attach(self.cab, hub, port)
+        self.node_id = system.registry.register(name)
+        self.runtime = Runtime(self.cab, tracer=system.tracer)
+        self.datalink = Datalink(self.runtime, system.network, system.registry, mtu=mtu)
+        self.ip = IPProtocol(
+            self.runtime, self.datalink, system.registry, input_mode=ip_input_mode
+        )
+        self.icmp = ICMPProtocol(self.runtime, self.ip)
+        self.udp = UDPProtocol(self.runtime, self.ip, checksums=udp_checksums)
+        self.udp.icmp = self.icmp
+        self.tcp = TCPProtocol(
+            self.runtime,
+            self.ip,
+            checksums=tcp_checksums,
+            mss=mtu - 40,
+            congestion_control=tcp_congestion_control,
+        )
+        self.nectar = NectarTransportLayer(self.runtime, self.datalink)
+        self.datagram = DatagramProtocol(self.nectar)
+        self.rmp = RMPProtocol(self.nectar)
+        self.rpc = RequestResponseProtocol(self.nectar)
+
+    @property
+    def ip_address(self) -> int:
+        return self.ip.address
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NectarNode {self.name} id={self.node_id}>"
+
+
+class NectarSystem:
+    """A whole simulated Nectar installation."""
+
+    def __init__(self, costs: Optional[CostModel] = None):
+        self.sim = Simulator()
+        self.costs = costs if costs is not None else DEFAULT_COSTS.copy()
+        self.tracer = Tracer(lambda: self.sim.now)
+        self.network = NectarNetwork(self.sim, self.costs)
+        self.registry = NodeRegistry(self.network)
+        self.nodes: Dict[str, NectarNode] = {}
+        self.hubs: Dict[str, Hub] = {}
+
+    def add_hub(self, name: str, ports: int = 16) -> Hub:
+        """Create a HUB crossbar on the fabric."""
+        hub = self.network.new_hub(name, ports=ports)
+        self.hubs[name] = hub
+        return hub
+
+    def connect_hubs(self, hub_a: Hub, port_a: int, hub_b: Hub, port_b: int) -> None:
+        """Wire two HUBs together (multi-hop routes)."""
+        self.network.link_hubs(hub_a, port_a, hub_b, port_b)
+
+    def add_node(
+        self,
+        name: str,
+        hub: Hub,
+        port: int,
+        tcp_checksums: bool = True,
+        udp_checksums: bool = True,
+        mtu: int = 9000,
+        ip_input_mode: str = "interrupt",
+        tcp_congestion_control: bool = False,
+    ) -> NectarNode:
+        """Create a CAB with a full protocol stack on a HUB port."""
+        if name in self.nodes:
+            raise ConfigurationError(f"node {name!r} already exists")
+        node = NectarNode(
+            self,
+            name,
+            hub,
+            port,
+            tcp_checksums=tcp_checksums,
+            udp_checksums=udp_checksums,
+            mtu=mtu,
+            ip_input_mode=ip_input_mode,
+            tcp_congestion_control=tcp_congestion_control,
+        )
+        self.nodes[name] = node
+        return node
+
+    # -- running ------------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run the simulation until idle or ``until`` ns."""
+        return self.sim.run(until=until)
+
+    def run_until(self, event, limit: Optional[int] = None):
+        """Run until ``event`` fires; returns its value."""
+        return self.sim.run_until(event, limit=limit)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-CAB CPU busy fraction over the elapsed simulated time."""
+        if self.sim.now == 0:
+            return {name: 0.0 for name in self.nodes}
+        return {
+            name: node.cab.cpu.busy_ns / self.sim.now
+            for name, node in self.nodes.items()
+        }

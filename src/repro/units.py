@@ -1,0 +1,58 @@
+"""Unit helpers.
+
+All simulated time is integer nanoseconds; all sizes are bytes.  These
+helpers keep unit conversions explicit and greppable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "mbps_to_ns_per_byte",
+    "ms",
+    "ns_to_us",
+    "seconds",
+    "throughput_mbps",
+    "us",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def us(value: float) -> int:
+    """Microseconds -> nanoseconds."""
+    return int(round(value * 1_000))
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> nanoseconds."""
+    return int(round(value * 1_000_000))
+
+
+def seconds(value: float) -> int:
+    """Seconds -> nanoseconds."""
+    return int(round(value * 1_000_000_000))
+
+
+def ns_to_us(value_ns: int) -> float:
+    """Nanoseconds -> microseconds (float, for reporting)."""
+    return value_ns / 1_000.0
+
+
+def mbps_to_ns_per_byte(mbps: float) -> float:
+    """Megabits-per-second -> nanoseconds per byte.
+
+    100 Mbit/s == 12.5 MB/s == 80 ns/byte.
+    """
+    if mbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {mbps}")
+    return 8_000.0 / mbps
+
+
+def throughput_mbps(payload_bytes: int, elapsed_ns: int) -> float:
+    """Payload bytes moved in elapsed_ns -> megabits per second."""
+    if elapsed_ns <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_ns}")
+    return payload_bytes * 8_000.0 / elapsed_ns

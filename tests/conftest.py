@@ -1,0 +1,10 @@
+"""Test-suite configuration: fully deterministic property testing.
+
+The simulation itself is deterministic; derandomizing hypothesis makes the
+*suite* deterministic too, so a green run is bit-for-bit repeatable.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("deterministic", derandomize=True, deadline=None)
+settings.load_profile("deterministic")

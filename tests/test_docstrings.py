@@ -1,0 +1,50 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+#: Names that are legitimately docstring-free (dataclass auto-members, etc.)
+_EXEMPT = set()
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        module.__name__ for module in _public_modules() if not module.__doc__
+    ]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in _public_modules():
+        for name, member in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(member, "__module__", None) != module.__name__:
+                continue  # re-export
+            if inspect.isclass(member) or inspect.isfunction(member):
+                if not inspect.getdoc(member):
+                    missing.append(f"{module.__name__}.{name}")
+                if inspect.isclass(member):
+                    for method_name, method in vars(member).items():
+                        if method_name.startswith("_"):
+                            continue
+                        if not inspect.isfunction(method):
+                            continue
+                        if not inspect.getdoc(method):
+                            missing.append(
+                                f"{module.__name__}.{name}.{method_name}"
+                            )
+    missing = [item for item in missing if item not in _EXEMPT]
+    assert not missing, f"undocumented public items: {sorted(missing)}"

@@ -1,0 +1,116 @@
+"""Unit and property tests for the buffer heap."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HeapExhausted, NectarError
+from repro.runtime.heap import BufferHeap
+
+
+def test_alloc_returns_distinct_blocks():
+    heap = BufferHeap(base=0, size=1024)
+    a = heap.alloc(100)
+    b = heap.alloc(100)
+    assert a != b
+    assert abs(a - b) >= 100
+
+
+def test_alloc_alignment():
+    heap = BufferHeap(base=0, size=1024)
+    addrs = [heap.alloc(13) for _ in range(5)]
+    assert all(addr % 8 == 0 for addr in addrs)
+
+
+def test_exhaustion_raises():
+    heap = BufferHeap(base=0, size=256)
+    heap.alloc(200)
+    with pytest.raises(HeapExhausted):
+        heap.alloc(200)
+
+
+def test_try_alloc_returns_none_when_full():
+    heap = BufferHeap(base=0, size=64)
+    assert heap.try_alloc(64) is not None
+    assert heap.try_alloc(1) is None
+
+
+def test_free_then_realloc_reuses_space():
+    heap = BufferHeap(base=0, size=256)
+    addr = heap.alloc(256)
+    heap.free(addr)
+    assert heap.alloc(256) == addr
+
+
+def test_coalescing_allows_large_alloc_after_frees():
+    heap = BufferHeap(base=0, size=304)
+    a = heap.alloc(100)  # rounds to 104
+    b = heap.alloc(100)  # rounds to 104
+    c = heap.alloc(96)
+    heap.free(a)
+    heap.free(c)
+    heap.free(b)  # middle last: must coalesce all three
+    assert heap.largest_free_block() == 304
+    assert heap.alloc(296) is not None
+
+
+def test_double_free_rejected():
+    heap = BufferHeap(base=0, size=128)
+    addr = heap.alloc(64)
+    heap.free(addr)
+    with pytest.raises(NectarError):
+        heap.free(addr)
+
+
+def test_free_of_unallocated_rejected():
+    heap = BufferHeap(base=0, size=128)
+    with pytest.raises(NectarError):
+        heap.free(24)
+
+
+def test_nonpositive_alloc_rejected():
+    heap = BufferHeap(base=0, size=128)
+    with pytest.raises(NectarError):
+        heap.alloc(0)
+
+
+def test_accounting():
+    heap = BufferHeap(base=4096, size=1024)
+    assert heap.free_bytes == 1024
+    addr = heap.alloc(100)
+    assert heap.allocated_bytes == 104  # aligned up
+    assert heap.free_bytes == 1024 - 104
+    assert heap.owns(addr)
+    heap.free(addr)
+    assert heap.free_bytes == 1024
+    heap.check_invariants()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=400)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=60,
+    )
+)
+def test_heap_invariants_under_random_workload(ops):
+    """No overlap, no leaks, full coalescing — under arbitrary op sequences."""
+    heap = BufferHeap(base=512, size=4096)
+    live: list[int] = []
+    for op, arg in ops:
+        if op == "alloc":
+            addr = heap.try_alloc(arg)
+            if addr is not None:
+                live.append(addr)
+        elif live:
+            index = arg % len(live)
+            heap.free(live.pop(index))
+        heap.check_invariants()
+    # Free everything: heap must return to a single free block.
+    for addr in live:
+        heap.free(addr)
+    heap.check_invariants()
+    assert heap.free_bytes == 4096
+    assert heap.largest_free_block() == 4096

@@ -1,0 +1,158 @@
+"""Tests for the Berkeley-style host stack (segmenting, go-back-N, checksum)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.host.ethernet import EthernetNIC, EthernetSegment
+from repro.host.hoststack import (
+    HostStream,
+    WINDOW_SEGMENTS,
+    _pack_segment,
+    _unpack_segment,
+    _KIND_ACK,
+    _KIND_DATA,
+)
+from repro.host.machine import HostedNode
+from repro.system import NectarSystem
+from repro.units import seconds
+
+
+class TestSegmentCodec:
+    def test_roundtrip(self):
+        packet = _pack_segment(_KIND_DATA, 7, b"payload!")
+        kind, seq, payload = _unpack_segment(packet)
+        assert (kind, seq, payload) == (_KIND_DATA, 7, b"payload!")
+
+    def test_ack_roundtrip(self):
+        packet = _pack_segment(_KIND_ACK, 99, b"")
+        kind, seq, payload = _unpack_segment(packet)
+        assert (kind, seq, payload) == (_KIND_ACK, 99, b"")
+
+    def test_corruption_detected(self):
+        packet = bytearray(_pack_segment(_KIND_DATA, 1, b"data bytes here"))
+        packet[-1] ^= 0x10
+        with pytest.raises(ProtocolError, match="checksum"):
+            _unpack_segment(bytes(packet))
+
+    def test_truncation_detected(self):
+        packet = _pack_segment(_KIND_DATA, 1, b"data")
+        with pytest.raises(ProtocolError):
+            _unpack_segment(packet[:8])
+
+    @given(seq=st.integers(0, 2**32 - 1), payload=st.binary(max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, seq, payload):
+        kind, got_seq, got = _unpack_segment(_pack_segment(_KIND_DATA, seq, payload))
+        assert (kind, got_seq, got) == (_KIND_DATA, seq, payload)
+
+
+def make_streams(loss=None):
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    node_a = system.add_node("cab-a", hub, 0)
+    node_b = system.add_node("cab-b", hub, 1)
+    ha, hb = HostedNode(system, node_a), HostedNode(system, node_b)
+    segment = EthernetSegment(system.sim, system.costs)
+    if loss is not None:
+        # Wrap the NIC delivery with a loss gate at the Ethernet layer by
+        # dropping inside a subclassed NIC.
+        class LossyNIC(EthernetNIC):
+            count = 0
+
+            def _deliver(self, packet):
+                LossyNIC.count += 1
+                if loss(LossyNIC.count):
+                    return  # eaten by the wire
+                super()._deliver(packet)
+
+        nic_a = LossyNIC(ha.host, segment)
+        nic_b = LossyNIC(hb.host, segment)
+    else:
+        nic_a = EthernetNIC(ha.host, segment)
+        nic_b = EthernetNIC(hb.host, segment)
+    stream_a = HostStream(ha.host, nic_a, system.costs, peer=hb.host.name)
+    stream_b = HostStream(hb.host, nic_b, system.costs, peer=ha.host.name)
+    return system, ha, hb, stream_a, stream_b
+
+
+class TestHostStream:
+    def test_segmentation_counts(self):
+        system, ha, hb, stream_a, stream_b = make_streams()
+        payload = b"s" * (stream_a.mss * 3 + 10)  # 4 segments
+        done = system.sim.event()
+
+        def sender():
+            yield from stream_a.send(payload)
+            yield from stream_a.drain()
+            done.succeed(stream_a.snd_nxt)
+
+        def receiver():
+            yield from stream_b.recv(len(payload))
+
+        ha.host.fork_process(sender(), "s")
+        hb.host.fork_process(receiver(), "r")
+        assert system.run_until(done, limit=seconds(60)) == 4
+
+    def test_window_limits_inflight(self):
+        system, ha, hb, stream_a, stream_b = make_streams()
+        payload = b"w" * (stream_a.mss * (WINDOW_SEGMENTS + 4))
+        observed = []
+        done = system.sim.event()
+
+        def sender():
+            yield from stream_a.send(payload)
+            yield from stream_a.drain()
+            done.succeed()
+
+        def watcher():
+            while not done.triggered:
+                observed.append(stream_a.snd_nxt - stream_a.snd_una)
+                yield system.sim.timeout(100_000)
+
+        def receiver():
+            yield from stream_b.recv(len(payload))
+
+        ha.host.fork_process(sender(), "s")
+        hb.host.fork_process(receiver(), "r")
+        system.sim.process(watcher())
+        system.run_until(done, limit=seconds(60))
+        assert max(observed) <= WINDOW_SEGMENTS
+
+    def test_recovers_from_packet_loss(self):
+        # Drop the 3rd and 7th packets on the wire.
+        system, ha, hb, stream_a, stream_b = make_streams(
+            loss=lambda count: count in (3, 7)
+        )
+        payload = bytes(range(256)) * 24  # several segments
+        done = system.sim.event()
+
+        def sender():
+            yield from stream_a.send(payload)
+            yield from stream_a.drain()
+
+        def receiver():
+            data = yield from stream_b.recv(len(payload))
+            done.succeed(data)
+
+        ha.host.fork_process(sender(), "s")
+        hb.host.fork_process(receiver(), "r")
+        assert system.run_until(done, limit=seconds(120)) == payload
+
+    def test_interleaved_sends_preserve_order(self):
+        system, ha, hb, stream_a, stream_b = make_streams()
+        done = system.sim.event()
+
+        def sender():
+            for index in range(6):
+                yield from stream_a.send(bytes([index]) * 100)
+            yield from stream_a.drain()
+
+        def receiver():
+            data = yield from stream_b.recv(600)
+            done.succeed(data)
+
+        ha.host.fork_process(sender(), "s")
+        hb.host.fork_process(receiver(), "r")
+        data = system.run_until(done, limit=seconds(60))
+        assert data == b"".join(bytes([i]) * 100 for i in range(6))

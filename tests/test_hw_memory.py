@@ -1,0 +1,125 @@
+"""Tests for memory regions and 1 KB-page protection domains."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryFault
+from repro.hw.memory import MemoryRegion, PAGE_SIZE, Perm, ProtectionDomain
+
+
+class TestMemoryRegion:
+    def test_write_read_roundtrip(self):
+        mem = MemoryRegion("m", 4096)
+        mem.write(100, b"hello")
+        assert mem.read(100, 5) == b"hello"
+
+    def test_zero_initialized(self):
+        mem = MemoryRegion("m", 64)
+        assert mem.read(0, 64) == bytes(64)
+
+    def test_out_of_bounds_read(self):
+        mem = MemoryRegion("m", 64)
+        with pytest.raises(MemoryFault, match="outside region"):
+            mem.read(60, 8)
+
+    def test_out_of_bounds_write(self):
+        mem = MemoryRegion("m", 64)
+        with pytest.raises(MemoryFault):
+            mem.write(63, b"ab")
+
+    def test_negative_address(self):
+        mem = MemoryRegion("m", 64)
+        with pytest.raises(MemoryFault):
+            mem.read(-1, 2)
+
+    def test_word_access_big_endian(self):
+        mem = MemoryRegion("m", 64)
+        mem.write_word(8, 0xDEADBEEF)
+        assert mem.read(8, 4) == b"\xde\xad\xbe\xef"
+        assert mem.read_word(8) == 0xDEADBEEF
+
+    def test_fill(self):
+        mem = MemoryRegion("m", 32)
+        mem.fill(4, 8, 0xAA)
+        assert mem.read(4, 8) == b"\xaa" * 8
+        assert mem.read(0, 4) == bytes(4)
+
+    def test_view_is_writable(self):
+        mem = MemoryRegion("m", 32)
+        view = mem.view(8, 4)
+        view[:] = b"WXYZ"
+        assert mem.read(8, 4) == b"WXYZ"
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(MemoryFault):
+            MemoryRegion("m", 0)
+
+    @given(
+        addr=st.integers(min_value=0, max_value=1000),
+        data=st.binary(min_size=1, max_size=24),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, addr, data):
+        mem = MemoryRegion("m", 1024)
+        if addr + len(data) > 1024:
+            with pytest.raises(MemoryFault):
+                mem.write(addr, data)
+        else:
+            mem.write(addr, data)
+            assert mem.read(addr, len(data)) == data
+
+
+class TestProtectionDomain:
+    def test_default_allows_everything(self):
+        domain = ProtectionDomain("open")
+        assert domain.allows(0, 10_000, write=True)
+
+    def test_read_only_page(self):
+        domain = ProtectionDomain("ro", default=Perm.RW)
+        domain.set_page(1, Perm.READ)
+        assert domain.allows(PAGE_SIZE, 10, write=False)
+        assert not domain.allows(PAGE_SIZE, 10, write=True)
+
+    def test_no_access_page(self):
+        domain = ProtectionDomain("locked")
+        domain.set_page(0, Perm.NONE)
+        assert not domain.allows(0, 1, write=False)
+
+    def test_range_spanning_pages(self):
+        domain = ProtectionDomain("d", default=Perm.NONE)
+        domain.set_range(0, PAGE_SIZE * 2, Perm.RW)
+        assert domain.allows(0, PAGE_SIZE * 2, write=True)
+        # One byte past the granted range falls in a NONE page.
+        assert not domain.allows(PAGE_SIZE * 2 - 1, 2, write=True)
+
+    def test_region_enforces_domain(self):
+        mem = MemoryRegion("m", PAGE_SIZE * 4)
+        domain = ProtectionDomain("app", default=Perm.NONE)
+        domain.set_range(PAGE_SIZE, PAGE_SIZE, Perm.RW)
+        mem.load_domain(domain)
+        mem.write(PAGE_SIZE + 10, b"ok")
+        with pytest.raises(MemoryFault, match="denied"):
+            mem.write(0, b"nope")
+        with pytest.raises(MemoryFault, match="denied"):
+            mem.read(PAGE_SIZE * 2, 4)
+
+    def test_domain_switch_is_single_register_reload(self):
+        """Paper Sec. 2.2: changing domains = reloading one register."""
+        mem = MemoryRegion("m", PAGE_SIZE * 2)
+        locked = ProtectionDomain("locked", default=Perm.NONE)
+        open_domain = ProtectionDomain("open", default=Perm.RW)
+        mem.load_domain(locked)
+        with pytest.raises(MemoryFault):
+            mem.read(0, 1)
+        mem.load_domain(open_domain)
+        assert mem.read(0, 1) == b"\x00"
+        mem.load_domain(None)  # protection off
+        assert mem.read(0, 1) == b"\x00"
+
+    def test_write_spanning_into_readonly_page_denied(self):
+        mem = MemoryRegion("m", PAGE_SIZE * 2)
+        domain = ProtectionDomain("d", default=Perm.RW)
+        domain.set_page(1, Perm.READ)
+        mem.load_domain(domain)
+        with pytest.raises(MemoryFault):
+            mem.write(PAGE_SIZE - 2, b"abcd")

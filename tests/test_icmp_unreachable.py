@@ -1,0 +1,74 @@
+"""Tests for ICMP destination unreachable (port), RFC 792/1122 behaviour."""
+
+import pytest
+
+from repro.protocols.headers import (
+    ICMP_CODE_PORT_UNREACHABLE,
+    IPv4Header,
+    UDPHeader,
+)
+from repro.system import NectarSystem
+from repro.units import ms, seconds
+
+
+def rig():
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    a = system.add_node("cab-a", hub, 0)
+    b = system.add_node("cab-b", hub, 1)
+    return system, a, b
+
+
+def test_udp_to_unbound_port_triggers_unreachable():
+    system, a, b = rig()
+    errors = []
+    a.icmp.on_unreachable = lambda header, payload: errors.append((header, payload))
+
+    def sender():
+        yield from a.udp.send(4000, b.ip_address, 4999, b"is anyone there?")
+
+    a.runtime.fork_application(sender(), "s")
+    system.run(until=ms(20))
+    assert b.runtime.stats.value("udp_no_port") == 1
+    assert b.runtime.stats.value("icmp_unreachable_out") == 1
+    assert a.runtime.stats.value("icmp_unreachable_in") == 1
+    assert len(errors) == 1
+    header, payload = errors[0]
+    assert header.code == ICMP_CODE_PORT_UNREACHABLE
+    # RFC 792: the error quotes the offending datagram's IP header + 8
+    # bytes, enough to recover the original UDP ports.
+    quoted_ip = IPv4Header.unpack(payload[: IPv4Header.SIZE])
+    assert quoted_ip.dst == b.ip_address
+    quoted_udp = UDPHeader.unpack(payload[IPv4Header.SIZE :])
+    assert quoted_udp.src_port == 4000
+    assert quoted_udp.dst_port == 4999
+
+
+def test_bound_port_generates_no_error():
+    system, a, b = rig()
+    inbox = b.runtime.mailbox("inbox")
+    b.udp.bind(4999, inbox)
+
+    def sender():
+        yield from a.udp.send(4000, b.ip_address, 4999, b"present!")
+
+    a.runtime.fork_application(sender(), "s")
+    system.run(until=ms(20))
+    assert b.runtime.stats.value("icmp_unreachable_out") == 0
+    assert len(inbox) == 1
+
+
+def test_unreachable_storm_does_not_loop():
+    """Errors about errors must not ping-pong forever."""
+    system, a, b = rig()
+
+    def sender():
+        for _ in range(3):
+            yield from a.udp.send(4000, b.ip_address, 4999, b"x" * 32)
+
+    a.runtime.fork_application(sender(), "s")
+    system.run(until=ms(50))
+    # Exactly one unreachable per offending datagram; no amplification.
+    assert b.runtime.stats.value("icmp_unreachable_out") == 3
+    assert a.runtime.stats.value("icmp_unreachable_in") == 3
+    assert a.runtime.stats.value("icmp_unreachable_out") == 0

@@ -1,0 +1,152 @@
+"""Tests for the Mach IPC message-forwarding server (Sec. 5.2)."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.host.machipc import MachMessage, NetMsgServer
+from repro.system import NectarSystem
+from repro.units import seconds
+
+
+def rig():
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    a = system.add_node("cab-a", hub, 0)
+    b = system.add_node("cab-b", hub, 1)
+    return system, NetMsgServer(a), NetMsgServer(b), a, b
+
+
+def test_message_codec_roundtrip():
+    message = MachMessage(msgh_id=77, body=b"typed body", reply_to="client-port")
+    dst, parsed = MachMessage.unpack(message.pack("server-port"))
+    assert dst == "server-port"
+    assert parsed.msgh_id == 77
+    assert parsed.body == b"typed body"
+    assert parsed.reply_to == "client-port"
+
+
+def test_local_send_receive():
+    system, server_a, _server_b, a, _b = rig()
+    port = server_a.allocate_port("local-svc")
+    done = system.sim.event()
+
+    def sender():
+        yield from server_a.send("local-svc", MachMessage(1, b"local hello"))
+
+    def receiver():
+        message = yield from port.receive()
+        done.succeed(message.body)
+
+    a.runtime.fork_application(sender(), "s")
+    a.runtime.fork_application(receiver(), "r")
+    assert system.run_until(done, limit=seconds(5)) == b"local hello"
+    assert server_a.stats.value("mach_local_sends") == 1
+
+
+def test_remote_send_forwarded_by_cab_server():
+    system, server_a, server_b, a, b = rig()
+    port = server_b.allocate_port("remote-svc")
+    done = system.sim.event()
+
+    def sender():
+        yield from server_a.send(
+            "remote-svc", MachMessage(42, b"across the network", reply_to="")
+        )
+
+    def receiver():
+        message = yield from port.receive()
+        done.succeed((message.msgh_id, message.body))
+
+    a.runtime.fork_application(sender(), "s")
+    b.runtime.fork_application(receiver(), "r")
+    assert system.run_until(done, limit=seconds(5)) == (42, b"across the network")
+    # Let the forward acknowledgement drain back to the sender.
+    system.run(until=system.now + 10_000_000)
+    assert server_a.stats.value("mach_remote_sends") == 1
+    assert server_b.stats.value("mach_forwards") == 1
+
+
+def test_request_reply_via_reply_port():
+    """The classic Mach RPC shape: send with a reply port, await the answer."""
+    system, server_a, server_b, a, b = rig()
+    service = server_b.allocate_port("echo-svc")
+    reply_port = server_a.allocate_port("client-reply")
+    done = system.sim.event()
+
+    def client():
+        yield from server_a.send(
+            "echo-svc", MachMessage(1, b"shout", reply_to="client-reply")
+        )
+        answer = yield from reply_port.receive()
+        done.succeed(answer.body)
+
+    def server():
+        request = yield from service.receive()
+        yield from server_b.send(
+            request.reply_to, MachMessage(2, request.body.upper())
+        )
+
+    a.runtime.fork_application(client(), "c")
+    b.runtime.fork_application(server(), "s")
+    assert system.run_until(done, limit=seconds(5)) == b"SHOUT"
+
+
+def test_unknown_port_rejected():
+    system, server_a, _server_b, a, _b = rig()
+    done = system.sim.event()
+
+    def sender():
+        try:
+            yield from server_a.send("ghost", MachMessage(1, b"?"))
+        except AddressError as exc:
+            done.succeed(str(exc))
+
+    a.runtime.fork_application(sender(), "s")
+    assert "no Mach port" in system.run_until(done, limit=seconds(5))
+
+
+def test_duplicate_name_rejected():
+    _system, server_a, server_b, _a, _b = rig()
+    server_a.allocate_port("unique")
+    with pytest.raises(AddressError, match="already in use"):
+        server_b.allocate_port("unique")
+
+
+def test_stale_directory_entry_reported():
+    """A name whose receive right vanished yields a forwarding error."""
+    system, server_a, server_b, a, b = rig()
+    port = server_b.allocate_port("gone-soon")
+    # Simulate the right dying without the directory noticing.
+    server_b._ports.pop("gone-soon")
+    done = system.sim.event()
+
+    def sender():
+        try:
+            yield from server_a.send("gone-soon", MachMessage(1, b"late"))
+        except Exception as exc:
+            done.succeed(str(exc))
+
+    a.runtime.fork_application(sender(), "s")
+    assert "forward failed" in system.run_until(done, limit=seconds(5))
+    assert server_b.stats.value("mach_no_port") == 1
+
+
+def test_fifo_per_port_across_mixed_senders():
+    system, server_a, server_b, a, b = rig()
+    port = server_b.allocate_port("sink")
+    done = system.sim.event()
+
+    def remote_sender():
+        for index in range(5):
+            yield from server_a.send("sink", MachMessage(index, bytes([index])))
+
+    def receiver():
+        got = []
+        for _ in range(5):
+            message = yield from port.receive()
+            got.append(message.msgh_id)
+        done.succeed(got)
+
+    a.runtime.fork_application(remote_sender(), "s")
+    b.runtime.fork_application(receiver(), "r")
+    assert system.run_until(done, limit=seconds(10)) == [0, 1, 2, 3, 4]

@@ -1,0 +1,301 @@
+"""Tests for mailboxes: two-phase ops, Enqueue, upcalls, adjust, caching."""
+
+import pytest
+
+from repro.cab.board import CAB
+from repro.errors import MailboxError
+from repro.model.costs import CostModel
+from repro.runtime.kernel import Runtime
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def rt():
+    sim = Simulator()
+    cab = CAB(sim, CostModel(), "cab0")
+    return Runtime(cab)
+
+
+def test_put_then_get_roundtrip(rt):
+    mbox = rt.mailbox("m")
+    out = []
+
+    def writer():
+        msg = yield from mbox.begin_put(64)
+        yield from rt.fill_message(msg, b"hello mailbox")
+        yield from mbox.end_put(msg)
+
+    def reader():
+        msg = yield from mbox.begin_get()
+        data = yield from rt.read_message(msg, 0, 13)
+        out.append(data)
+        yield from mbox.end_get(msg)
+
+    rt.fork_application(writer(), "w")
+    rt.fork_application(reader(), "r")
+    rt.sim.run()
+    assert out == [b"hello mailbox"]
+
+
+def test_reader_blocks_until_message(rt):
+    mbox = rt.mailbox("m")
+    stamps = []
+
+    def reader():
+        msg = yield from mbox.begin_get()
+        stamps.append(rt.sim.now)
+        yield from mbox.end_get(msg)
+
+    def writer():
+        yield from rt.ops.sleep(500_000)
+        msg = yield from mbox.begin_put(16)
+        yield from mbox.end_put(msg)
+
+    rt.fork_application(reader(), "r")
+    rt.fork_application(writer(), "w")
+    rt.sim.run()
+    assert stamps[0] >= 500_000
+
+
+def test_fifo_order_multiple_messages(rt):
+    mbox = rt.mailbox("m")
+    seen = []
+
+    def writer():
+        for index in range(5):
+            msg = yield from mbox.begin_put(200)  # above cache: heap-backed
+            yield from rt.fill_message(msg, bytes([index]) * 4)
+            yield from mbox.end_put(msg)
+
+    def reader():
+        for _ in range(5):
+            msg = yield from mbox.begin_get()
+            seen.append(msg.read(0, 1)[0])
+            yield from mbox.end_get(msg)
+
+    rt.fork_application(writer(), "w")
+    rt.fork_application(reader(), "r")
+    rt.sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_small_message_uses_cached_buffer(rt):
+    mbox = rt.mailbox("m", cached_buffer_bytes=128)
+
+    def body():
+        msg = yield from mbox.begin_put(64)
+        assert msg.cached
+        yield from mbox.end_put(msg)
+        got = yield from mbox.begin_get()
+        yield from mbox.end_get(got)
+        # After release, the cache slot is reusable.
+        msg2 = yield from mbox.begin_put(100)
+        assert msg2.cached
+        yield from mbox.end_put(msg2)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+    assert mbox.stats.value("cached_allocs") == 2
+
+
+def test_second_small_message_falls_back_to_heap(rt):
+    mbox = rt.mailbox("m", cached_buffer_bytes=128)
+
+    def body():
+        first = yield from mbox.begin_put(64)
+        second = yield from mbox.begin_put(64)
+        assert first.cached and not second.cached
+        yield from mbox.end_put(first)
+        yield from mbox.end_put(second)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+
+
+def test_enqueue_moves_without_copying(rt):
+    src = rt.mailbox("src")
+    dst = rt.mailbox("dst")
+    out = []
+
+    def body():
+        msg = yield from src.begin_put(300)
+        yield from rt.fill_message(msg, b"move me")
+        addr_before = msg.addr
+        yield from src.enqueue(msg, dst)
+        got = yield from dst.begin_get()
+        out.append((got.addr == addr_before, got.read(0, 7)))
+        yield from dst.end_get(got)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+    assert out == [(True, b"move me")]
+
+
+def test_enqueue_cached_message_returns_slot_to_owner(rt):
+    src = rt.mailbox("src", cached_buffer_bytes=128)
+    dst = rt.mailbox("dst")
+
+    def body():
+        msg = yield from src.begin_put(32)
+        assert msg.cached
+        yield from src.enqueue(msg, dst)
+        got = yield from dst.begin_get()
+        yield from dst.end_get(got)
+        # The cache slot belongs to src again.
+        again = yield from src.begin_put(32)
+        assert again.cached
+        yield from src.end_put(again)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+
+
+def test_trim_front_and_back(rt):
+    mbox = rt.mailbox("m")
+
+    def body():
+        msg = yield from mbox.begin_put(20)
+        yield from rt.fill_message(msg, b"HEADERpayloadTRAILER"[:20])
+        msg.trim_front(6)
+        msg.trim_back(7)
+        assert msg.read() == b"payload"
+        yield from mbox.end_put(msg)
+        got = yield from mbox.begin_get()
+        assert got.size == 7
+        yield from mbox.end_get(got)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+    rt.heap.check_invariants()
+
+
+def test_trim_bounds_checked(rt):
+    mbox = rt.mailbox("m")
+
+    def body():
+        msg = yield from mbox.begin_put(10)
+        with pytest.raises(MailboxError):
+            msg.trim_front(11)
+        with pytest.raises(MailboxError):
+            msg.trim_back(-1)
+        yield from mbox.end_put(msg)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+
+
+def test_reader_upcall_runs_in_writer_context(rt):
+    mbox = rt.mailbox("m")
+    consumed = []
+
+    def upcall(mb):
+        msg = yield from mb.ibegin_get()
+        assert msg is not None
+        consumed.append(msg.read(0, 4))
+        yield from mb.iend_get(msg)
+
+    mbox.reader_upcall = upcall
+
+    def writer():
+        msg = yield from mbox.begin_put(200)
+        yield from rt.fill_message(msg, b"ding")
+        yield from mbox.end_put(msg)
+        # The upcall already consumed the message during end_put.
+        assert len(mbox) == 0
+
+    rt.fork_application(writer(), "w")
+    rt.sim.run()
+    assert consumed == [b"ding"]
+
+
+def test_ibegin_get_empty_returns_none(rt):
+    mbox = rt.mailbox("m")
+    out = []
+
+    def body():
+        msg = yield from mbox.ibegin_get()
+        out.append(msg)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+    assert out == [None]
+
+
+def test_begin_put_blocks_until_heap_space(rt):
+    """Paper: Begin_Put blocks if no space; rescheduled when space frees."""
+    mbox = rt.mailbox("m", cached_buffer_bytes=0)
+    heap_size = rt.heap.size
+    big = heap_size - 64
+    stamps = {}
+
+    def hog():
+        msg = yield from mbox.begin_put(big)
+        stamps["hog"] = rt.sim.now
+        yield from mbox.end_put(msg)
+        yield from rt.ops.sleep(1_000_000)
+        got = yield from mbox.begin_get()
+        yield from mbox.end_get(got)
+
+    def blocked():
+        yield from rt.ops.sleep(1_000)
+        msg = yield from mbox.begin_put(big)
+        stamps["blocked"] = rt.sim.now
+        yield from mbox.end_put(msg)
+        got = yield from mbox.begin_get()
+        yield from mbox.end_get(got)
+
+    rt.fork_application(hog(), "hog")
+    rt.fork_application(blocked(), "blocked")
+    rt.sim.run()
+    assert stamps["blocked"] >= 1_000_000
+
+
+def test_ibegin_put_exhausted_returns_none(rt):
+    mbox = rt.mailbox("m", cached_buffer_bytes=0)
+
+    def body():
+        big = yield from mbox.begin_put(rt.heap.size - 64)
+        small = yield from mbox.ibegin_put(4096)
+        assert small is None
+        yield from mbox.end_put(big)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+    assert mbox.stats.value("alloc_stalls") == 1
+
+
+def test_end_get_twice_rejected(rt):
+    mbox = rt.mailbox("m")
+
+    def body():
+        msg = yield from mbox.begin_put(16)
+        yield from mbox.end_put(msg)
+        got = yield from mbox.begin_get()
+        yield from mbox.end_get(got)
+        with pytest.raises(MailboxError):
+            yield from mbox.end_get(got)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+
+
+def test_message_hooks_fire_on_queue(rt):
+    mbox = rt.mailbox("m")
+    pings = []
+    mbox.message_hooks.append(lambda mb: pings.append(len(mb)))
+
+    def body():
+        msg = yield from mbox.begin_put(16)
+        yield from mbox.end_put(msg)
+
+    rt.fork_application(body(), "b")
+    rt.sim.run()
+    assert pings == [1]
+
+
+def test_duplicate_mailbox_name_rejected(rt):
+    rt.mailbox("m")
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        rt.mailbox("m")

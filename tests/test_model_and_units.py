@@ -1,0 +1,155 @@
+"""Tests for the cost model, statistics helpers, units, and tracing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.costs import CostModel, DEFAULT_COSTS
+from repro.model.stats import Counter, LatencyRecorder, StatsRegistry, ThroughputMeter
+from repro.sim.trace import TraceRecorder, Tracer
+from repro.units import (
+    KB,
+    MB,
+    mbps_to_ns_per_byte,
+    ms,
+    ns_to_us,
+    seconds,
+    throughput_mbps,
+    us,
+)
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert us(1) == 1_000
+        assert ms(1) == 1_000_000
+        assert seconds(1) == 1_000_000_000
+        assert ns_to_us(2_500) == 2.5
+
+    def test_sizes(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+
+    def test_bandwidth_conversions(self):
+        # 100 Mbit/s == 80 ns/byte.
+        assert mbps_to_ns_per_byte(100.0) == 80.0
+        with pytest.raises(ValueError):
+            mbps_to_ns_per_byte(0)
+
+    def test_throughput(self):
+        # 1000 bytes in 80 us at 100 Mbit/s.
+        assert throughput_mbps(1000, 80_000) == 100.0
+        with pytest.raises(ValueError):
+            throughput_mbps(1, 0)
+
+
+class TestCostModel:
+    def test_paper_constants(self):
+        costs = DEFAULT_COSTS
+        assert costs.fiber_mbps == 100.0
+        assert costs.hub_setup_ns == 700
+        assert costs.cab_context_switch_ns == us(20)
+        assert costs.vme_word_ns == 1000
+        assert costs.vme_dma_mbps == 30.0
+        assert costs.cab_cpu_mhz == 16.5
+
+    def test_derived_quantities(self):
+        costs = CostModel()
+        assert costs.fiber_ns_per_byte == 80.0
+        assert costs.fiber_tx_ns(1000) == 80_000
+        assert costs.vme_pio_ns(4) == 1_000
+        assert costs.vme_pio_ns(5) == 2_000
+        assert abs(costs.vme_dma_ns(3750) - 1_000_000) < 100
+
+    def test_copy_override(self):
+        costs = CostModel()
+        faster = costs.copy(vme_dma_mbps=120.0)
+        assert faster.vme_dma_mbps == 120.0
+        assert costs.vme_dma_mbps == 30.0  # original untouched
+        assert faster.fiber_mbps == costs.fiber_mbps
+
+
+class TestStats:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+        with pytest.raises(ValueError):
+            counter.add(-1)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_registry(self):
+        registry = StatsRegistry()
+        registry.add("a")
+        registry.add("a", 2)
+        registry.add("b")
+        assert registry.value("a") == 3
+        assert registry.value("missing") == 0
+        assert registry.snapshot() == {"a": 3, "b": 1}
+        registry.reset(["a"])
+        assert registry.value("a") == 0
+        assert registry.value("b") == 1
+
+    def test_latency_recorder(self):
+        recorder = LatencyRecorder()
+        for sample in (1000, 2000, 3000, 4000, 5000):
+            recorder.record(sample)
+        assert recorder.count == 5
+        assert recorder.mean_ns == 3000
+        assert recorder.mean_us == 3.0
+        assert recorder.min_ns == 1000
+        assert recorder.max_ns == 5000
+        assert recorder.percentile_ns(50) == 3000
+        assert recorder.percentile_ns(100) == 5000
+        assert recorder.stdev_ns() > 0
+
+    def test_latency_recorder_empty(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            _ = recorder.mean_ns
+        with pytest.raises(ValueError):
+            recorder.record(-5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_bounds_property(self, samples):
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.record(sample)
+        assert recorder.percentile_ns(0) == min(samples)
+        assert recorder.percentile_ns(100) == max(samples)
+        assert min(samples) <= recorder.percentile_ns(50) <= max(samples)
+
+    def test_throughput_meter(self):
+        meter = ThroughputMeter()
+        meter.start(0)
+        meter.account(500, 20_000)
+        meter.account(500, 80_000)
+        assert meter.bytes_moved == 1000
+        assert meter.elapsed_ns == 80_000
+        assert meter.mbps == 100.0
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer(lambda: 42)
+        assert not tracer.enabled
+        tracer.emit("x", "y")  # no sink: no-op
+
+    def test_recorder_collects_and_queries(self):
+        clock = {"now": 0}
+        tracer = Tracer(lambda: clock["now"])
+        recorder = TraceRecorder()
+        tracer.sink = recorder
+        tracer.emit("comp-a", "start")
+        clock["now"] = 5_000
+        tracer.emit("comp-b", "end", detail={"k": 1})
+        assert recorder.interval_ns("start", "end") == 5_000
+        assert recorder.find("end").component == "comp-b"
+        assert recorder.labels() == ["start", "end"]
+        assert len(recorder.find_all("start")) == 1
+        with pytest.raises(KeyError):
+            recorder.find("missing")
+        recorder.clear()
+        assert recorder.events == []

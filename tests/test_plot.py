@@ -1,0 +1,55 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.plot import render_curves
+
+
+def test_renders_markers_and_legend():
+    chart = render_curves(
+        "Test figure",
+        {
+            "alpha": [(16, 1.0), (64, 4.0), (256, 16.0)],
+            "beta": [(16, 2.0), (64, 6.0), (256, 12.0)],
+        },
+    )
+    assert "Test figure" in chart
+    assert "o alpha" in chart
+    assert "* beta" in chart
+    assert "16" in chart and "256" in chart
+    # Monotone series: the top row region contains the max marker.
+    assert "o" in chart
+
+
+def test_single_point_series():
+    chart = render_curves("One", {"only": [(10, 5.0)]})
+    assert "o only" in chart
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        render_curves("x", {})
+    with pytest.raises(ValueError):
+        render_curves("x", {"empty": []})
+
+
+def test_log_x_requires_positive():
+    with pytest.raises(ValueError, match="positive"):
+        render_curves("x", {"bad": [(0, 1.0), (10, 2.0)]})
+
+
+def test_linear_x_allows_zero():
+    chart = render_curves("lin", {"ok": [(0, 1.0), (10, 2.0)]}, log_x=False)
+    assert "lin" in chart
+
+
+def test_higher_values_render_higher():
+    chart = render_curves(
+        "H", {"rise": [(1, 0.0), (100, 100.0)]}, width=20, height=10
+    )
+    lines = chart.splitlines()
+    plot_lines = [line for line in lines if "|" in line]
+    # The first (top) plot row contains the peak marker; the last (bottom)
+    # contains the start.
+    assert "o" in plot_lines[0]
+    assert "o" in plot_lines[-1]

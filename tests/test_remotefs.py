@@ -1,0 +1,152 @@
+"""Tests for the NFS-shaped remote file service (Sec. 7 future work)."""
+
+import pytest
+
+from repro.apps.remotefs import RemoteFileClient, RemoteFileServer
+from repro.errors import NectarError
+from repro.system import NectarSystem
+from repro.units import seconds
+
+
+def rig():
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    server_node = system.add_node("cab-server", hub, 0)
+    client_node = system.add_node("cab-client", hub, 1)
+    server = RemoteFileServer(server_node)
+    client = RemoteFileClient(client_node, server_node.node_id)
+    return system, server, client, client_node
+
+
+def run_client(system, client_node, body_gen, limit=seconds(30)):
+    done = system.sim.event()
+
+    def wrapper():
+        result = yield from body_gen
+        done.succeed(result)
+
+    client_node.runtime.fork_application(wrapper(), "nfs-client")
+    return system.run_until(done, limit=limit)
+
+
+def test_create_write_read_roundtrip():
+    system, _server, client, client_node = rig()
+
+    def body():
+        handle = yield from client.create(b"/docs/readme")
+        written = yield from client.write(handle, 0, b"nectar file contents")
+        data = yield from client.read(handle, 0, 100)
+        size = yield from client.getattr(handle)
+        return written, data, size
+
+    written, data, size = run_client(system, client_node, body())
+    assert written == 20
+    assert data == b"nectar file contents"
+    assert size == 20
+
+
+def test_lookup_existing_and_missing():
+    system, _server, client, client_node = rig()
+
+    def body():
+        yield from client.create(b"/a")
+        handle = yield from client.lookup(b"/a")
+        try:
+            yield from client.lookup(b"/missing")
+        except NectarError as exc:
+            return handle, str(exc)
+        return handle, None
+
+    handle, error = run_client(system, client_node, body())
+    assert handle.fileid > 0
+    assert "no such file" in error
+
+
+def test_create_duplicate_rejected():
+    system, _server, client, client_node = rig()
+
+    def body():
+        yield from client.create(b"/dup")
+        try:
+            yield from client.create(b"/dup")
+        except NectarError as exc:
+            return str(exc)
+        return None
+
+    assert "exists" in run_client(system, client_node, body())
+
+
+def test_stale_handle_after_remove():
+    """NFS semantics: handles die with the file."""
+    system, _server, client, client_node = rig()
+
+    def body():
+        handle = yield from client.create(b"/victim")
+        yield from client.write(handle, 0, b"short lived")
+        yield from client.remove(b"/victim")
+        try:
+            yield from client.read(handle, 0, 4)
+        except NectarError as exc:
+            return str(exc)
+        return None
+
+    assert "stale" in run_client(system, client_node, body())
+
+
+def test_sparse_write_zero_fills():
+    system, _server, client, client_node = rig()
+
+    def body():
+        handle = yield from client.create(b"/sparse")
+        yield from client.write(handle, 10, b"tail")
+        data = yield from client.read(handle, 0, 14)
+        return data
+
+    assert run_client(system, client_node, body()) == b"\x00" * 10 + b"tail"
+
+
+def test_partial_reads():
+    system, _server, client, client_node = rig()
+
+    def body():
+        handle = yield from client.create(b"/f")
+        yield from client.write(handle, 0, bytes(range(100)))
+        first = yield from client.read(handle, 0, 10)
+        middle = yield from client.read(handle, 45, 10)
+        past_end = yield from client.read(handle, 95, 50)
+        return first, middle, past_end
+
+    first, middle, past_end = run_client(system, client_node, body())
+    assert first == bytes(range(10))
+    assert middle == bytes(range(45, 55))
+    assert past_end == bytes(range(95, 100))
+
+
+def test_readdir_prefix_filter():
+    system, _server, client, client_node = rig()
+
+    def body():
+        for path in (b"/src/a.c", b"/src/b.c", b"/doc/x.md"):
+            yield from client.create(path)
+        src = yield from client.readdir(b"/src/")
+        everything = yield from client.readdir()
+        return src, everything
+
+    src, everything = run_client(system, client_node, body())
+    assert src == [b"/src/a.c", b"/src/b.c"]
+    assert len(everything) == 3
+
+
+def test_big_file_transfer_through_marshaling():
+    """An 8 KB write+read exercises byte-string marshaling and the fabric."""
+    system, server, client, client_node = rig()
+    payload = bytes(range(256)) * 32
+
+    def body():
+        handle = yield from client.create(b"/big")
+        yield from client.write(handle, 0, payload)
+        data = yield from client.read(handle, 0, len(payload))
+        return data
+
+    assert run_client(system, client_node, body(), limit=seconds(60)) == payload
+    assert server.stats.value("nfs_requests") == 3

@@ -1,0 +1,136 @@
+"""Tests for host conditions, signal queues, and the CAB doorbell."""
+
+import pytest
+
+from repro.cab.board import CAB
+from repro.errors import NectarError
+from repro.model.costs import CostModel
+from repro.runtime.kernel import Runtime
+from repro.runtime.signaling import CabDoorbell, HostCondition, SignalQueue
+from repro.sim import Simulator
+from repro.units import us
+
+
+class TestHostCondition:
+    def test_poll_value_increments(self):
+        hc = HostCondition("hc")
+        assert hc.poll_value == 0
+        hc.fire()
+        hc.fire()
+        assert hc.poll_value == 2
+
+    def test_wait_poll_sees_prior_signal(self):
+        sim = Simulator()
+        cab = CAB(sim, CostModel(), "cab0")
+        rt = Runtime(cab)
+        hc = HostCondition("hc")
+        out = []
+
+        def body():
+            snapshot = hc.poll_value
+            hc.fire()  # signal arrives "while deciding to wait"
+            yield from hc.wait_poll(rt.cpu, rt.costs, snapshot)
+            out.append(sim.now)
+
+        rt.fork_application(body(), "b")
+        sim.run()
+        assert len(out) == 1
+
+    def test_signal_hooks_invoked(self):
+        hc = HostCondition("hc")
+        calls = []
+        hc.signal_hooks.append(lambda cond: calls.append(cond.poll_value))
+        hc.fire()
+        assert calls == [1]
+
+
+class TestSignalQueue:
+    def test_fifo_order(self):
+        queue = SignalQueue("q", capacity=4)
+        queue.push("a", 1)
+        queue.push("b", 2)
+        assert queue.pop() == ("a", 1)
+        assert queue.pop() == ("b", 2)
+        assert queue.pop() is None
+
+    def test_overflow_reported(self):
+        queue = SignalQueue("q", capacity=2)
+        assert queue.push("a", None)
+        assert queue.push("b", None)
+        assert not queue.push("c", None)
+        assert queue.stats.value("overflows") == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(NectarError):
+            SignalQueue("q", capacity=0)
+
+
+class TestCabDoorbell:
+    def _rig(self):
+        sim = Simulator()
+        cab = CAB(sim, CostModel(), "cab0")
+        rt = Runtime(cab)
+        from repro.hw.vme import VMEBus
+
+        vme = VMEBus(sim, rt.costs)
+        bell = CabDoorbell(rt)
+        return sim, rt, vme, bell
+
+    def test_wake_thread_opcode(self):
+        sim, rt, vme, bell = self._rig()
+        cond = rt.condition("c")
+        mutex = rt.mutex("m")
+        out = []
+
+        def waiter():
+            yield from rt.ops.lock(mutex)
+            yield from rt.ops.wait(cond, mutex)
+            out.append(sim.now)
+            yield from rt.ops.unlock(mutex)
+
+        rt.fork_application(waiter(), "w")
+        from repro.runtime.signaling import OP_WAKE_THREAD
+
+        def host_side():
+            # Ring only after the waiter has had time to block (condition
+            # signals are not sticky — Mesa semantics).
+            yield sim.timeout(us(500))
+            bell.queue.push(OP_WAKE_THREAD, cond)
+            bell.ring(vme)
+
+        sim.process(host_side())
+        sim.run()
+        assert len(out) == 1
+        assert out[0] >= us(500)
+
+    def test_unknown_opcode_raises(self):
+        sim, rt, vme, bell = self._rig()
+        bell.queue.push("who-knows", None)
+        bell.ring(vme)
+        with pytest.raises(NectarError, match="no doorbell handler"):
+            sim.run()
+
+    def test_duplicate_registration_rejected(self):
+        _sim, _rt, _vme, bell = self._rig()
+        from repro.runtime.signaling import OP_WAKE_THREAD
+
+        with pytest.raises(NectarError, match="already registered"):
+            bell.register(OP_WAKE_THREAD, lambda param: iter(()))
+
+    def test_drain_handles_batch(self):
+        """One interrupt drains every queued element."""
+        sim, rt, vme, bell = self._rig()
+        hits = []
+
+        def handler(param):
+            hits.append(param)
+            yield from iter(())
+
+        bell.register("custom", handler)
+        for index in range(5):
+            bell.queue.push("custom", index)
+        bell.ring(vme)
+        sim.run()
+        assert hits == [0, 1, 2, 3, 4]
+        # One posted interrupt serviced them all.
+        assert rt.cpu.stats.value("interrupts_serviced") == 1

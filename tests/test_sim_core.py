@@ -1,0 +1,276 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, SimulationError, Simulator
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1_000)
+        yield sim.timeout(500)
+        return sim.now
+
+    assert sim.run_process(body()) == 1_500
+
+
+def test_zero_delay_timeout_runs_same_time():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(0)
+        return sim.now
+
+    assert sim.run_process(body()) == 0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_event_value_passes_through():
+    sim = Simulator()
+    ev = sim.event()
+
+    def producer():
+        yield sim.timeout(10)
+        ev.succeed("payload")
+
+    def consumer():
+        value = yield ev
+        return value
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == "payload"
+
+
+def test_event_failure_raises_inside_process():
+    sim = Simulator()
+    ev = sim.event()
+
+    def producer():
+        yield sim.timeout(5)
+        ev.fail(ValueError("boom"))
+
+    def consumer():
+        with pytest.raises(ValueError, match="boom"):
+            yield ev
+        return "handled"
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == "handled"
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def make(tag):
+        def body():
+            yield sim.timeout(100)
+            order.append(tag)
+
+        return body
+
+    for tag in range(5):
+        sim.process(make(tag)())
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_join_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(42)
+        return "done"
+
+    def parent():
+        proc = sim.process(child())
+        value = yield proc
+        return (value, sim.now)
+
+    assert sim.run_process(parent()) == ("done", 42)
+
+
+def test_joining_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        return 7
+
+    def parent(proc):
+        yield sim.timeout(100)
+        value = yield proc
+        return value
+
+    proc = sim.process(child())
+    assert sim.run_process(parent(proc)) == 7
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+
+    def victim():
+        try:
+            yield sim.timeout(1_000_000)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+        return "not reached"
+
+    def attacker(proc):
+        yield sim.timeout(100)
+        proc.interrupt("why")
+
+    proc = sim.process(victim())
+    sim.process(attacker(proc))
+    sim.run()
+    assert proc.value == ("interrupted", "why", 100)
+
+
+def test_interrupted_wait_does_not_resume_twice():
+    sim = Simulator()
+    hits = []
+
+    def victim():
+        try:
+            yield sim.timeout(50)
+        except Interrupt:
+            pass
+        yield sim.timeout(500)
+        hits.append(sim.now)
+
+    def attacker(proc):
+        yield sim.timeout(10)
+        proc.interrupt()
+
+    proc = sim.process(victim())
+    sim.process(attacker(proc))
+    sim.run()
+    # The original timeout at t=50 must not wake the process again.
+    assert hits == [510]
+
+
+def test_unhandled_interrupt_terminates_quietly():
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(1_000)
+
+    def attacker(proc):
+        yield sim.timeout(1)
+        proc.interrupt()
+
+    proc = sim.process(victim())
+    sim.process(attacker(proc))
+    sim.run()
+    assert proc.fired and proc.ok
+
+
+def test_interrupting_dead_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_process_exception_surfaces_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("broken process")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="broken process"):
+        sim.run()
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    proc = sim.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+    assert not proc.ok
+
+
+def test_run_until_event():
+    sim = Simulator()
+    ev = sim.event()
+
+    def producer():
+        yield sim.timeout(77)
+        ev.succeed("v")
+
+    sim.process(producer())
+    assert sim.run_until(ev) == "v"
+    assert sim.now == 77
+
+
+def test_run_until_stalled_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError, match="stalled"):
+        sim.run_until(ev)
+
+
+def test_run_with_until_bound():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield sim.timeout(10)
+
+    sim.process(ticker())
+    assert sim.run(until=105) == 105
+
+
+def test_any_of_first_wins():
+    sim = Simulator()
+
+    def body():
+        index, event = yield sim.any_of([sim.timeout(100, "slow"), sim.timeout(10, "fast")])
+        return (index, event.value, sim.now)
+
+    assert sim.run_process(body()) == (1, "fast", 10)
+
+
+def test_any_of_empty_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.any_of([])
+
+
+def test_deadlock_detected_by_run_process():
+    sim = Simulator()
+    ev = sim.event()
+
+    def stuck():
+        yield ev
+
+    with pytest.raises(SimulationError, match="blocked"):
+        sim.run_process(stuck())

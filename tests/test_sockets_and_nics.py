@@ -1,0 +1,195 @@
+"""Edge-case tests for the socket emulation and the NIC models."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NectarError
+from repro.host.ethernet import EthernetNIC, EthernetSegment
+from repro.host.machine import HostedNode
+from repro.host.netdev import NetdevNIC
+from repro.host.sockets import SocketLibrary
+from repro.system import NectarSystem
+from repro.units import ms, seconds
+
+
+def rig():
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    a = system.add_node("cab-a", hub, 0)
+    b = system.add_node("cab-b", hub, 1)
+    return system, HostedNode(system, a), HostedNode(system, b)
+
+
+class TestSockets:
+    def test_send_before_connect_rejected(self):
+        system, ha, _hb = rig()
+        lib = SocketLibrary(ha)
+        done = system.sim.event()
+
+        def body():
+            yield from lib.init()
+            sock = lib.socket()
+            try:
+                yield from sock.send(b"data")
+            except NectarError as exc:
+                done.succeed(str(exc))
+
+        ha.host.fork_process(body(), "b")
+        assert "not connected" in system.run_until(done, limit=seconds(5))
+
+    def test_recv_before_connect_rejected(self):
+        system, ha, _hb = rig()
+        lib = SocketLibrary(ha)
+        done = system.sim.event()
+
+        def body():
+            yield from lib.init()
+            sock = lib.socket()
+            try:
+                yield from sock.recv(1)
+            except NectarError as exc:
+                done.succeed(str(exc))
+
+        ha.host.fork_process(body(), "b")
+        assert "not connected" in system.run_until(done, limit=seconds(5))
+
+    def test_double_connect_rejected(self):
+        system, ha, hb = rig()
+        lib_a, lib_b = SocketLibrary(ha), SocketLibrary(hb)
+        done = system.sim.event()
+
+        def server():
+            yield from lib_b.init()
+            sock = lib_b.socket()
+            listener = yield from sock.listen(7000)
+            yield from sock.accept(listener)
+
+        def client():
+            yield from lib_a.init()
+            sock = lib_a.socket()
+            yield from sock.connect(hb.node.ip_address, 7000, 6000)
+            try:
+                yield from sock.connect(hb.node.ip_address, 7000, 6001)
+            except NectarError as exc:
+                done.succeed(str(exc))
+
+        hb.host.fork_process(server(), "s")
+        ha.host.fork_process(client(), "c")
+        assert "already connected" in system.run_until(done, limit=seconds(30))
+
+    def test_partial_recv_buffers_remainder(self):
+        system, ha, hb = rig()
+        lib_a, lib_b = SocketLibrary(ha), SocketLibrary(hb)
+        done = system.sim.event()
+
+        def server():
+            yield from lib_b.init()
+            sock = lib_b.socket()
+            listener = yield from sock.listen(7000)
+            yield from sock.accept(listener)
+            first = yield from sock.recv(4)
+            second = yield from sock.recv(8)
+            done.succeed((first, second))
+
+        def client():
+            yield from lib_a.init()
+            sock = lib_a.socket()
+            yield from sock.connect(hb.node.ip_address, 7000, 6000)
+            yield from sock.send(b"abcd")
+            yield from sock.send(b"efghijkl")
+
+        hb.host.fork_process(server(), "s")
+        ha.host.fork_process(client(), "c")
+        first, second = system.run_until(done, limit=seconds(60))
+        assert (first, second) == (b"abcd", b"efghijkl")
+
+
+class TestNetdevNIC:
+    def test_mtu_enforced(self):
+        system, ha, _hb = rig()
+        nic = NetdevNIC(ha, mtu=1500)
+        done = system.sim.event()
+
+        def body():
+            yield from ha.driver.map_cab_memory()
+            try:
+                yield from nic.send("cab-b", b"x" * 1501)
+            except ConfigurationError as exc:
+                done.succeed(str(exc))
+
+        ha.host.fork_process(body(), "b")
+        assert "MTU" in system.run_until(done, limit=seconds(5))
+
+    def test_bidirectional_packets(self):
+        system, ha, hb = rig()
+        nic_a, nic_b = NetdevNIC(ha), NetdevNIC(hb)
+        done = system.sim.event()
+
+        def side_a():
+            yield from ha.driver.map_cab_memory()
+            yield from nic_a.send("cab-b", b"ping")
+            packet = yield from nic_a.recv()
+            done.succeed(packet)
+
+        def side_b():
+            yield from hb.driver.map_cab_memory()
+            packet = yield from nic_b.recv()
+            yield from nic_b.send("cab-a", packet + b"-pong")
+
+        ha.host.fork_process(side_a(), "a")
+        hb.host.fork_process(side_b(), "b")
+        assert system.run_until(done, limit=seconds(5)) == b"ping-pong"
+
+
+class TestEthernet:
+    def test_duplicate_host_on_segment_rejected(self):
+        system, ha, _hb = rig()
+        segment = EthernetSegment(system.sim, system.costs)
+        EthernetNIC(ha.host, segment)
+        with pytest.raises(ConfigurationError, match="already attached"):
+            EthernetNIC(ha.host, segment)
+
+    def test_unknown_destination_rejected(self):
+        system, ha, hb = rig()
+        segment = EthernetSegment(system.sim, system.costs)
+        nic = EthernetNIC(ha.host, segment)
+        done = system.sim.event()
+
+        def body():
+            try:
+                yield from nic.send("nowhere", b"lost")
+            except ConfigurationError as exc:
+                done.succeed(str(exc))
+
+        ha.host.fork_process(body(), "b")
+        assert "no host" in system.run_until(done, limit=seconds(5))
+
+    def test_three_hosts_share_the_wire(self):
+        system, ha, hb = rig()
+        hc_node = system.add_node("cab-c", system.hubs["hub0"], 2)
+        hc = HostedNode(system, hc_node)
+        segment = EthernetSegment(system.sim, system.costs)
+        nic_a = EthernetNIC(ha.host, segment)
+        nic_b = EthernetNIC(hb.host, segment)
+        nic_c = EthernetNIC(hc.host, segment)
+        done = system.sim.event()
+        got = []
+
+        def sender(nic, payload):
+            def body():
+                yield from nic.send(hc.host.name, payload)
+
+            return body
+
+        def receiver():
+            for _ in range(2):
+                packet = yield from nic_c.recv()
+                got.append(packet)
+            done.succeed(sorted(got))
+
+        ha.host.fork_process(sender(nic_a, b"from-a" * 100)(), "a")
+        hb.host.fork_process(sender(nic_b, b"from-b" * 100)(), "b")
+        hc.host.fork_process(receiver(), "c")
+        packets = system.run_until(done, limit=seconds(5))
+        assert len(packets) == 2
+        # The shared wire serialized them: both arrived intact.
+        assert packets[0][:6] in (b"from-a", b"from-b")

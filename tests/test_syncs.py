@@ -1,0 +1,142 @@
+"""Tests for syncs: the lightweight one-word synchronization of Sec. 3.4."""
+
+import pytest
+
+from repro.cab.board import CAB
+from repro.errors import SyncError
+from repro.model.costs import CostModel
+from repro.runtime.kernel import Runtime
+from repro.runtime.syncs import SyncPool
+from repro.sim import Simulator
+from repro.units import us
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    cab = CAB(sim, CostModel(), "cab0")
+    rt = Runtime(cab)
+    pool = SyncPool(rt.costs, capacity=8, name="test-pool")
+    return sim, rt, pool
+
+
+def test_write_then_read(rig):
+    sim, rt, pool = rig
+    out = []
+
+    def body():
+        sync = yield from pool.alloc()
+        yield from pool.write(sync, 42)
+        value = yield from pool.read(sync, rt.cpu)
+        out.append(value)
+
+    rt.fork_application(body(), "b")
+    sim.run()
+    assert out == [42]
+
+
+def test_read_blocks_until_write(rig):
+    sim, rt, pool = rig
+    sync = pool.alloc_nocost()
+    out = []
+
+    def reader():
+        value = yield from pool.read(sync, rt.cpu)
+        out.append((value, sim.now))
+
+    def writer():
+        yield from rt.ops.sleep(us(100))
+        yield from pool.write(sync, "late value")
+
+    rt.fork_application(reader(), "r")
+    rt.fork_application(writer(), "w")
+    sim.run()
+    assert out[0][0] == "late value"
+    assert out[0][1] >= us(100)
+
+
+def test_cancel_before_write_frees_on_write(rig):
+    sim, rt, pool = rig
+    sync = pool.alloc_nocost()
+    assert pool.in_use == 1
+
+    def body():
+        yield from pool.cancel(sync)
+        # Cancelled but not yet freed: the writer completes the life cycle.
+        assert pool.in_use == 1
+        yield from pool.write(sync, "ignored")
+        assert pool.in_use == 0
+
+    rt.fork_application(body(), "b")
+    sim.run()
+
+
+def test_cancel_after_write_frees_immediately(rig):
+    sim, rt, pool = rig
+    sync = pool.alloc_nocost()
+
+    def body():
+        yield from pool.write(sync, 7)
+        yield from pool.cancel(sync)
+        assert pool.in_use == 0
+
+    rt.fork_application(body(), "b")
+    sim.run()
+
+
+def test_double_write_rejected(rig):
+    sim, rt, pool = rig
+    sync = pool.alloc_nocost()
+
+    def body():
+        yield from pool.write(sync, 1)
+        yield from pool.write(sync, 2)
+
+    rt.fork_application(body(), "b")
+    with pytest.raises(SyncError):
+        sim.run()
+
+
+def test_pool_exhaustion(rig):
+    _sim, _rt, pool = rig
+    for _ in range(8):
+        pool.alloc_nocost()
+    with pytest.raises(SyncError, match="exhausted"):
+        pool.alloc_nocost()
+
+
+def test_pool_recycles(rig):
+    sim, rt, pool = rig
+
+    def body():
+        for round_index in range(20):  # far more than capacity
+            sync = yield from pool.alloc()
+            yield from pool.write(sync, round_index)
+            value = yield from pool.read(sync, rt.cpu)
+            assert value == round_index
+
+    rt.fork_application(body(), "b")
+    sim.run()
+    assert pool.in_use == 0
+
+
+def test_interrupt_context_write_wakes_thread(rig):
+    sim, rt, pool = rig
+    sync = pool.alloc_nocost()
+    out = []
+
+    def reader():
+        value = yield from pool.read(sync, rt.cpu)
+        out.append(value)
+
+    def irq_handler():
+        yield from pool.iwrite(sync, "from-irq")
+
+    def device():
+        yield sim.timeout(us(50))
+        rt.cpu.post_interrupt(irq_handler(), name="dev")
+
+    rt.fork_application(reader(), "r")
+    sim.process(device())
+    sim.run()
+    assert out == ["from-irq"]

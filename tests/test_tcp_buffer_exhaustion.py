@@ -1,0 +1,68 @@
+"""TCP under transmit-buffer exhaustion: no data may be lost.
+
+Regression test for a latent bug where a segment whose transmit buffer
+could not be allocated was dropped *after* its bytes had left the send
+buffer, leaving an unrecoverable hole in the stream.
+"""
+
+import pytest
+
+from repro.system import NectarSystem
+from repro.units import ms, seconds
+
+
+def test_stream_survives_sender_heap_exhaustion():
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    a = system.add_node("cab-a", hub, 0)
+    b = system.add_node("cab-b", hub, 1)
+    payload = bytes(range(256)) * 30  # 7680 bytes
+    done = system.sim.event()
+
+    server_inbox = b.runtime.mailbox("srv")
+    b.tcp.listen(7000, lambda conn: server_inbox)
+
+    hog = {}
+
+    def hog_heap():
+        """Grab the whole heap just after the handshake, hold it 60 ms."""
+        yield from a.runtime.ops.sleep(ms(2))
+        heap = a.runtime.heap
+        scratch = a.runtime.mailbox("hog", cached_buffer_bytes=0)
+        held = []
+        for size in (65536, 4096, 512, 64, 8):
+            while True:
+                block = heap.try_alloc(size)
+                if block is None:
+                    break
+                held.append(block)
+        hog["held"] = len(held)
+        yield from a.runtime.ops.sleep(ms(60))
+        for block in held:
+            heap.free(block)
+        a.runtime.wake_heap_waiters()
+
+    def client():
+        inbox = a.runtime.mailbox("cli")
+        conn = yield from a.tcp.connect(6000, b.ip_address, 7000, inbox)
+        # Give the hog time to seize the heap, then send into the famine.
+        yield from a.runtime.ops.sleep(ms(5))
+        yield from a.tcp.send_direct(conn, payload)
+
+    def collector():
+        received = bytearray()
+        while len(received) < len(payload):
+            msg = yield from server_inbox.begin_get()
+            received.extend(msg.read())
+            yield from server_inbox.end_get(msg)
+        done.succeed(bytes(received))
+
+    a.runtime.fork_application(hog_heap(), "hog")
+    a.runtime.fork_application(client(), "client")
+    b.runtime.fork_application(collector(), "collector")
+    assert system.run_until(done, limit=seconds(120)) == payload
+    assert hog["held"] > 0
+    # The famine really bit: at least one transmit found no buffer, and the
+    # retransmission machinery recovered it.
+    assert a.runtime.stats.value("tcp_out_no_buffer") > 0
+    assert a.runtime.stats.value("tcp_retransmits") > 0

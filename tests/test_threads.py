@@ -1,0 +1,235 @@
+"""Tests for the CThreads-style threads package (mutexes, conditions)."""
+
+import pytest
+
+from repro.cab.board import CAB
+from repro.errors import NectarError
+from repro.model.costs import CostModel
+from repro.runtime.kernel import Runtime
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def rt():
+    sim = Simulator()
+    cab = CAB(sim, CostModel(), "cab0")
+    return Runtime(cab)
+
+
+def run(rt, horizon=None):
+    rt.sim.run(until=horizon)
+
+
+def test_fork_and_join(rt):
+    results = []
+
+    def child():
+        yield from rt.ops.sleep(10_000)
+        return "payload"
+
+    def parent():
+        tcb = yield from rt.ops.fork(child(), name="child")
+        value = yield from rt.ops.join(tcb)
+        results.append((value, rt.sim.now))
+
+    rt.fork_application(parent(), "parent")
+    run(rt)
+    assert results[0][0] == "payload"
+    assert results[0][1] >= 10_000
+
+
+def test_join_finished_thread(rt):
+    results = []
+
+    def child():
+        yield from rt.ops.sleep(0)
+        return 5
+
+    def parent(tcb):
+        yield from rt.ops.sleep(50_000)
+        value = yield from rt.ops.join(tcb)
+        results.append(value)
+
+    tcb = rt.fork_application(child(), "child")
+    rt.fork_application(parent(tcb), "parent")
+    run(rt)
+    assert results == [5]
+
+
+def test_mutex_excludes(rt):
+    mutex = rt.mutex()
+    trace = []
+
+    def worker(tag):
+        yield from rt.ops.lock(mutex)
+        trace.append((tag, "in"))
+        yield from rt.ops.sleep(5_000)
+        trace.append((tag, "out"))
+        yield from rt.ops.unlock(mutex)
+
+    rt.fork_application(worker("a"), "a")
+    rt.fork_application(worker("b"), "b")
+    run(rt)
+    assert trace in (
+        [("a", "in"), ("a", "out"), ("b", "in"), ("b", "out")],
+        [("b", "in"), ("b", "out"), ("a", "in"), ("a", "out")],
+    )
+
+
+def test_relock_by_owner_rejected(rt):
+    mutex = rt.mutex()
+
+    def worker():
+        yield from rt.ops.lock(mutex)
+        yield from rt.ops.lock(mutex)
+
+    rt.fork_application(worker(), "w")
+    with pytest.raises(NectarError, match="relocking"):
+        run(rt)
+
+
+def test_unlock_by_non_owner_rejected(rt):
+    mutex = rt.mutex()
+
+    def worker():
+        yield from rt.ops.unlock(mutex)
+
+    rt.fork_application(worker(), "w")
+    with pytest.raises(NectarError, match="non-owner"):
+        run(rt)
+
+
+def test_condition_signal_wakes_one(rt):
+    cond = rt.condition()
+    mutex = rt.mutex()
+    woken = []
+
+    def waiter(tag):
+        yield from rt.ops.lock(mutex)
+        yield from rt.ops.wait(cond, mutex)
+        woken.append(tag)
+        yield from rt.ops.unlock(mutex)
+
+    def signaller():
+        yield from rt.ops.sleep(50_000)
+        yield from rt.ops.signal(cond)
+
+    rt.fork_application(waiter("a"), "a")
+    rt.fork_application(waiter("b"), "b")
+    rt.fork_application(signaller(), "s")
+    run(rt)
+    assert len(woken) == 1
+
+
+def test_broadcast_wakes_all(rt):
+    cond = rt.condition()
+    mutex = rt.mutex()
+    woken = []
+
+    def waiter(tag):
+        yield from rt.ops.lock(mutex)
+        yield from rt.ops.wait(cond, mutex)
+        woken.append(tag)
+        yield from rt.ops.unlock(mutex)
+
+    def signaller():
+        yield from rt.ops.sleep(50_000)
+        yield from rt.ops.broadcast(cond)
+
+    for tag in range(3):
+        rt.fork_application(waiter(tag), f"w{tag}")
+    rt.fork_application(signaller(), "s")
+    run(rt)
+    assert sorted(woken) == [0, 1, 2]
+
+
+def test_timed_wait_timeout(rt):
+    cond = rt.condition()
+    mutex = rt.mutex()
+    outcome = []
+
+    def waiter():
+        yield from rt.ops.lock(mutex)
+        signalled = yield from rt.ops.timed_wait(cond, mutex, 30_000)
+        outcome.append((signalled, rt.sim.now))
+        yield from rt.ops.unlock(mutex)
+
+    rt.fork_application(waiter(), "w")
+    run(rt)
+    assert outcome[0][0] is False
+    assert outcome[0][1] >= 30_000
+
+
+def test_timed_wait_signalled(rt):
+    cond = rt.condition()
+    mutex = rt.mutex()
+    outcome = []
+
+    def waiter():
+        yield from rt.ops.lock(mutex)
+        signalled = yield from rt.ops.timed_wait(cond, mutex, 1_000_000)
+        outcome.append(signalled)
+        yield from rt.ops.unlock(mutex)
+
+    def signaller():
+        yield from rt.ops.sleep(10_000)
+        yield from rt.ops.signal(cond)
+
+    rt.fork_application(waiter(), "w")
+    rt.fork_application(signaller(), "s")
+    run(rt)
+    assert outcome == [True]
+
+
+def test_late_signal_after_timeout_not_lost_for_others(rt):
+    """A signal arriving after a timed_wait expired must wake a later waiter."""
+    cond = rt.condition()
+    mutex = rt.mutex()
+    outcome = []
+
+    def early_waiter():
+        yield from rt.ops.lock(mutex)
+        signalled = yield from rt.ops.timed_wait(cond, mutex, 5_000)
+        outcome.append(("early", signalled))
+        yield from rt.ops.unlock(mutex)
+
+    def late_waiter():
+        yield from rt.ops.sleep(50_000)
+        yield from rt.ops.lock(mutex)
+        signalled = yield from rt.ops.timed_wait(cond, mutex, 1_000_000)
+        outcome.append(("late", signalled))
+        yield from rt.ops.unlock(mutex)
+
+    def signaller():
+        yield from rt.ops.sleep(200_000)
+        yield from rt.ops.signal(cond)
+
+    rt.fork_application(early_waiter(), "e")
+    rt.fork_application(late_waiter(), "l")
+    rt.fork_application(signaller(), "s")
+    run(rt)
+    assert ("early", False) in outcome
+    assert ("late", True) in outcome
+
+
+def test_sleep_duration(rt):
+    stamps = []
+
+    def body():
+        start = rt.sim.now
+        yield from rt.ops.sleep(123_000)
+        stamps.append(rt.sim.now - start)
+
+    rt.fork_application(body(), "b")
+    run(rt)
+    assert stamps[0] >= 123_000
+    # Timer interrupt overhead should be small (well under 10 us).
+    assert stamps[0] < 133_000
+
+
+def test_context_switch_cost_is_20us():
+    """Paper Sec. 3.1: context switch time ~20 usec."""
+    sim = Simulator()
+    cab = CAB(sim, CostModel(), "cab0")
+    rt = Runtime(cab)
+    assert cab.cpu.context_switch_ns == 20_000

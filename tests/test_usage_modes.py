@@ -1,0 +1,179 @@
+"""Tests for the three Section 5 usage modes and the Ethernet baseline."""
+
+import pytest
+
+from repro.host.ethernet import EthernetNIC, EthernetSegment
+from repro.host.hoststack import HostStream
+from repro.host.machine import HostedNode
+from repro.host.netdev import NetdevNIC
+from repro.host.sockets import SocketLibrary
+from repro.system import NectarSystem
+from repro.units import seconds
+
+
+@pytest.fixture
+def rig():
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    node_a = system.add_node("cab-a", hub, 0)
+    node_b = system.add_node("cab-b", hub, 1)
+    return system, HostedNode(system, node_a), HostedNode(system, node_b)
+
+
+class TestEthernet:
+    def test_packet_delivery(self, rig):
+        system, ha, hb = rig
+        segment = EthernetSegment(system.sim, system.costs)
+        nic_a = EthernetNIC(ha.host, segment)
+        nic_b = EthernetNIC(hb.host, segment)
+        done = system.sim.event()
+
+        def sender():
+            yield from nic_a.send(hb.host.name, b"raw ethernet frame")
+
+        def receiver():
+            packet = yield from nic_b.recv()
+            done.succeed(packet)
+
+        ha.host.fork_process(sender(), "s")
+        hb.host.fork_process(receiver(), "r")
+        assert system.run_until(done, limit=seconds(1)) == b"raw ethernet frame"
+
+    def test_oversized_rejected(self, rig):
+        system, ha, hb = rig
+        segment = EthernetSegment(system.sim, system.costs)
+        nic_a = EthernetNIC(ha.host, segment)
+        EthernetNIC(hb.host, segment)
+        done = system.sim.event()
+
+        def sender():
+            try:
+                yield from nic_a.send(hb.host.name, b"x" * 2000)
+            except Exception as exc:
+                done.succeed(str(exc))
+
+        ha.host.fork_process(sender(), "s")
+        assert "MTU" in system.run_until(done, limit=seconds(1))
+
+    def test_wire_serializes_at_10mbps(self, rig):
+        system, ha, hb = rig
+        segment = EthernetSegment(system.sim, system.costs)
+        nic_a = EthernetNIC(ha.host, segment)
+        nic_b = EthernetNIC(hb.host, segment)
+        done = system.sim.event()
+
+        def sender():
+            yield from nic_a.send(hb.host.name, b"y" * 1000)
+
+        def receiver():
+            packet = yield from nic_b.recv()
+            done.succeed(system.now)
+
+        ha.host.fork_process(sender(), "s")
+        hb.host.fork_process(receiver(), "r")
+        when = system.run_until(done, limit=seconds(1))
+        # 1018 bytes at 10 Mbit/s is ~814 us of wire time alone.
+        assert when >= 800_000
+
+
+class TestHostStackOverEthernet:
+    def test_reliable_stream(self, rig):
+        system, ha, hb = rig
+        segment = EthernetSegment(system.sim, system.costs)
+        nic_a = EthernetNIC(ha.host, segment)
+        nic_b = EthernetNIC(hb.host, segment)
+        stream_a = HostStream(ha.host, nic_a, system.costs, peer=hb.host.name)
+        stream_b = HostStream(hb.host, nic_b, system.costs, peer=ha.host.name)
+        payload = bytes(range(256)) * 40  # 10240 bytes: several segments
+        done = system.sim.event()
+
+        def sender():
+            yield from stream_a.send(payload)
+            yield from stream_a.drain()
+
+        def receiver():
+            data = yield from stream_b.recv(len(payload))
+            done.succeed(data)
+
+        ha.host.fork_process(sender(), "s")
+        hb.host.fork_process(receiver(), "r")
+        assert system.run_until(done, limit=seconds(60)) == payload
+
+
+class TestNetdevMode:
+    def test_raw_packet_over_cab(self, rig):
+        system, ha, hb = rig
+        nic_a = NetdevNIC(ha)
+        nic_b = NetdevNIC(hb)
+        done = system.sim.event()
+
+        def setup_and_send():
+            yield from ha.driver.map_cab_memory()
+            yield from nic_a.send("cab-b", b"netdev packet over nectar")
+
+        def receiver():
+            yield from hb.driver.map_cab_memory()
+            packet = yield from nic_b.recv()
+            done.succeed(packet)
+
+        ha.host.fork_process(setup_and_send(), "s")
+        hb.host.fork_process(receiver(), "r")
+        assert (
+            system.run_until(done, limit=seconds(1)) == b"netdev packet over nectar"
+        )
+
+    def test_host_stack_over_netdev(self, rig):
+        """Section 5.1 end-to-end: Berkeley-style stack over the CAB device."""
+        system, ha, hb = rig
+        nic_a = NetdevNIC(ha)
+        nic_b = NetdevNIC(hb)
+        payload = b"via the nectar netdev" * 200  # ~4 KB
+        done = system.sim.event()
+
+        def sender():
+            yield from ha.driver.map_cab_memory()
+            stream = HostStream(ha.host, nic_a, system.costs, peer="cab-b")
+            yield from stream.send(payload)
+            yield from stream.drain()
+
+        def receiver():
+            yield from hb.driver.map_cab_memory()
+            stream = HostStream(hb.host, nic_b, system.costs, peer="cab-a")
+            data = yield from stream.recv(len(payload))
+            done.succeed(data)
+
+        ha.host.fork_process(sender(), "s")
+        hb.host.fork_process(receiver(), "r")
+        assert system.run_until(done, limit=seconds(60)) == payload
+
+
+class TestSockets:
+    def test_socket_stream_roundtrip(self, rig):
+        system, ha, hb = rig
+        lib_a = SocketLibrary(ha)
+        lib_b = SocketLibrary(hb)
+        request = b"GET /nectar" * 30
+        reply = b"200 OK" * 50
+        done = system.sim.event()
+
+        def server():
+            yield from lib_b.init()
+            sock = lib_b.socket()
+            listener = yield from sock.listen(7000)
+            yield from sock.accept(listener)
+            data = yield from sock.recv(len(request))
+            assert data == request
+            yield from sock.send(reply)
+
+        def client():
+            yield from lib_a.init()
+            sock = lib_a.socket()
+            yield from sock.connect(hb.node.ip_address, 7000, 6000)
+            yield from sock.send(request)
+            data = yield from sock.recv(len(reply))
+            yield from sock.close()
+            done.succeed(data)
+
+        hb.host.fork_process(server(), "server")
+        ha.host.fork_process(client(), "client")
+        assert system.run_until(done, limit=seconds(60)) == reply

@@ -1,0 +1,94 @@
+"""Tests for the synthetic workload generators and loaded-latency probe."""
+
+import pytest
+
+from repro.apps.workloads import BurstSource, PoissonDatagramSource, latency_under_load
+from repro.system import NectarSystem
+from repro.units import ms, seconds
+
+
+def rig():
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    a = system.add_node("cab-a", hub, 0)
+    b = system.add_node("cab-b", hub, 1)
+    return system, a, b
+
+
+class TestPoissonSource:
+    def test_rate_approximately_honoured(self):
+        system, a, b = rig()
+        sink = b.runtime.mailbox("sink")
+        b.datagram.bind(0x7100, sink)
+
+        def drain():
+            while True:
+                msg = yield from sink.begin_get()
+                yield from sink.end_get(msg)
+
+        source = PoissonDatagramSource(a, b.node_id, 0x7100, rate_pps=2000, seed=5)
+        a.runtime.fork_application(source.run(), "src")
+        b.runtime.fork_system(drain(), "drain")
+        system.run(until=ms(100))
+        source.stop()
+        # 2000 pps over 100 ms ~ 200 packets; Poisson scatter allowed.
+        assert 140 <= source.sent <= 260
+
+    def test_deterministic_given_seed(self):
+        counts = []
+        for _ in range(2):
+            system, a, b = rig()
+            sink = b.runtime.mailbox("sink")
+            b.datagram.bind(0x7100, sink)
+
+            def drain():
+                while True:
+                    msg = yield from sink.begin_get()
+                    yield from sink.end_get(msg)
+
+            source = PoissonDatagramSource(a, b.node_id, 0x7100, rate_pps=1500, seed=11)
+            a.runtime.fork_application(source.run(), "src")
+            b.runtime.fork_system(drain(), "drain")
+            system.run(until=ms(50))
+            counts.append(source.sent)
+        assert counts[0] == counts[1]
+
+    def test_bad_rate_rejected(self):
+        _system, a, b = rig()
+        with pytest.raises(ValueError):
+            PoissonDatagramSource(a, b.node_id, 1, rate_pps=0)
+
+
+class TestBurstSource:
+    def test_bursts_sent(self):
+        system, a, b = rig()
+        sink = b.runtime.mailbox("sink")
+        b.datagram.bind(0x7100, sink)
+
+        def drain():
+            while True:
+                msg = yield from sink.begin_get()
+                yield from sink.end_get(msg)
+
+        source = BurstSource(a, b.node_id, 0x7100, burst_length=5, gap_ns=ms(1))
+        a.runtime.fork_application(source.run(), "src")
+        b.runtime.fork_system(drain(), "drain")
+        system.run(until=ms(10))
+        source.stop()
+        assert source.sent >= 25
+        assert source.sent % 5 in (0, 1, 2, 3, 4)  # bursts of 5, maybe mid-burst
+
+
+class TestLatencyUnderLoad:
+    def test_load_raises_latency(self):
+        """Queueing behind cross-traffic shows up in the probe RTT."""
+        system, a, b = rig()
+        idle = latency_under_load(system, a, b, background_pps=0, rounds=15)
+
+        system2, a2, b2 = rig()
+        loaded = latency_under_load(
+            system2, a2, b2, background_pps=15_000, rounds=15
+        )
+        assert loaded.mean_ns > idle.mean_ns
+        # And the tail degrades at least as much as the mean.
+        assert loaded.max_ns > idle.max_ns
