@@ -1,6 +1,12 @@
 """Run the full evaluation: every table, figure, micro-cost, and ablation.
 
 Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
+        python -m repro  lint [paths...] [--strict] [--format json]
+        python -m repro  analyze [--rounds N]
+
+``lint`` runs nectarlint, the static determinism/sim-safety checker
+(see :mod:`repro.analysis.nectarlint`); ``analyze`` runs the dynamic
+sanitizer + determinism harness (see :mod:`repro.analysis.driver`).
 """
 
 from __future__ import annotations
@@ -20,6 +26,14 @@ _EXPERIMENTS = {
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "lint":
+        from repro.analysis import nectarlint
+
+        return nectarlint.main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.analysis import driver
+
+        return driver.main(argv[1:])
     targets = argv or ["all"]
     names = list(_EXPERIMENTS) if targets == ["all"] else targets
     for name in names:

@@ -1,0 +1,36 @@
+"""Correctness tooling for the CAB runtime reproduction.
+
+Two halves, mirroring the two invariants the paper's hardware provided and
+our simulator must enforce in software:
+
+* :mod:`repro.analysis.nectarlint` — an AST-based **static** linter that
+  flags determinism hazards (wall clocks, unseeded RNGs, set iteration,
+  float cost arithmetic) and simulated-concurrency hazards (discarded
+  thread-context generators, blocking calls from interrupt-handler context,
+  yields of non-event values).  ``python -m repro lint``.
+* :mod:`repro.analysis.sanitizers` — opt-in **dynamic** instrumentation
+  (heap leak/use-after-free accounting, lock-order deadlock detection, a
+  happens-before race detector for shared CAB data memory) threaded through
+  :class:`repro.system.NectarSystem`.  ``python -m repro analyze``.
+"""
+
+from repro.analysis.rules import Finding, Rule, all_rules, get_rule
+from repro.analysis.sanitizers import (
+    HeapSanitizer,
+    LockSanitizer,
+    RaceSanitizer,
+    Sanitizer,
+    SanitizerReport,
+)
+
+__all__ = [
+    "Finding",
+    "HeapSanitizer",
+    "LockSanitizer",
+    "RaceSanitizer",
+    "Rule",
+    "Sanitizer",
+    "SanitizerReport",
+    "all_rules",
+    "get_rule",
+]

@@ -1,0 +1,611 @@
+"""nectarlint: an AST-based determinism / sim-safety linter for this repo.
+
+Walks Python sources with the stdlib :mod:`ast` module (no third-party
+dependencies) and reports :class:`~repro.analysis.rules.Finding` objects for
+the rules registered in :mod:`repro.analysis.rules`.
+
+Scope notes
+-----------
+* ND001/ND002/ND003 (clocks and entropy) apply everywhere under the linted
+  tree — nothing in the simulation may consult the host environment.
+* ND004 (set iteration), ND005 (float ns arithmetic) and NS103 (constant
+  yields) apply only inside *simulation-sensitive* packages — path
+  components named ``sim``, ``runtime``, ``cab``, ``protocols``, ``hw`` or
+  ``model`` — where ordering and integer time are load-bearing.  Bench and
+  app drivers may freely iterate sets for reporting.
+* NS101/NS102 (generator misuse) apply everywhere: the thread-context API
+  is the same in apps as in the runtime.
+
+Usage: ``python -m repro lint src/repro [--strict] [--format json]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import sys
+from typing import Iterable, List, Optional
+
+from repro.analysis.rules import (
+    Finding,
+    all_rules,
+    filter_findings,
+    parse_suppressions,
+)
+
+__all__ = ["lint_paths", "lint_source", "main"]
+
+#: Path components marking simulation-sensitive code (ordering and integer
+#: nanoseconds are correctness-critical there).
+SENSITIVE_PARTS = ("sim", "runtime", "cab", "protocols", "hw", "model")
+
+#: Wall-clock callables (matched against the trailing two dotted components).
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+#: Module-level random functions sharing the global (unseeded) RNG.
+_GLOBAL_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "getrandbits",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "uniform",
+    "triangular",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "paretovariate",
+    "vonmisesvariate",
+}
+
+#: Full dotted names of OS entropy sources.
+_OS_ENTROPY = {
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.choice",
+}
+
+#: Thread-context generator APIs: calling one and discarding the generator
+#: (a bare expression statement) is always a bug — nothing executes.
+_GENERATOR_APIS = {
+    "lock",
+    "unlock",
+    "wait",
+    "timed_wait",
+    "signal",
+    "broadcast",
+    "isignal",
+    "sleep",
+    "yield_cpu",
+    "join",
+    "begin_put",
+    "ibegin_put",
+    "end_put",
+    "iend_put",
+    "begin_get",
+    "ibegin_get",
+    "end_get",
+    "iend_get",
+    "abort_put",
+    "iabort_put",
+    "enqueue",
+    "ienqueue",
+    "kick_readers",
+    "fill_message",
+    "read_message",
+    "checksum_message",
+    "iwrite",
+    "send_frame",
+}
+
+#: Thread-context APIs that can block; forbidden from handler context.
+_BLOCKING_APIS = {
+    "lock",
+    "wait",
+    "timed_wait",
+    "sleep",
+    "join",
+    "begin_put",
+    "begin_get",
+}
+
+#: i-prefixed handler-context method names (the paper's convention, Sec. 3.1).
+_HANDLER_SUFFIXES = ("_handler", "_irq", "_isr", "_upcall")
+_I_PREFIXED_BODIES = {
+    "write",
+    "signal",
+    "begin_put",
+    "begin_get",
+    "end_put",
+    "end_get",
+    "abort_put",
+    "enqueue",
+}
+
+#: Ops that may legally be yielded in handler context (Compute only; the
+#: engine raises on everything else — NS102 catches it statically).
+_FORBIDDEN_HANDLER_OPS = {"Block", "YieldCPU", "SetMask"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """'a.b.c' for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_expr(node: ast.AST, set_names: set) -> bool:
+    """Whether ``node`` is syntactically a set (literal, ctor, annotated)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = _dotted_name(node.func)
+        if callee in ("set", "frozenset"):
+            return True
+    name = _dotted_name(node)
+    return name is not None and name in set_names
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    """Whether a type annotation denotes a set/frozenset."""
+    base = annotation
+    if isinstance(base, ast.Subscript):  # set[int], Set[int], ...
+        base = base.value
+    dotted = _dotted_name(base)
+    if dotted is None:
+        return False
+    return dotted.rsplit(".", 1)[-1] in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet")
+
+
+def _has_unwrapped_float(node: ast.AST) -> bool:
+    """True if ``node`` contains a true division or float constant that is
+    not wrapped in int(...)/round(...)."""
+    if isinstance(node, ast.Call):
+        callee = _dotted_name(node.func)
+        if callee in ("int", "round", "math.floor", "math.ceil", "math.trunc"):
+            return False
+        return any(_has_unwrapped_float(arg) for arg in node.args)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _has_unwrapped_float(node.left) or _has_unwrapped_float(node.right)
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, (ast.UnaryOp, ast.IfExp, ast.BoolOp)):
+        return any(_has_unwrapped_float(child) for child in ast.iter_child_nodes(node))
+    return False
+
+
+def _is_handler_context(name: str) -> bool:
+    """Whether a function name marks interrupt-handler context."""
+    if name.endswith(_HANDLER_SUFFIXES):
+        return True
+    if name.startswith("i") and name[1:] in _I_PREFIXED_BODIES:
+        return True
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    """One pass over a module's AST, collecting findings."""
+
+    def __init__(self, path: str, sensitive: bool, tree: ast.Module):
+        self.path = path
+        self.sensitive = sensitive
+        self.findings: List[Finding] = []
+        #: Names (plain and ``self.x``) annotated as sets anywhere in the
+        #: file — a cheap whole-file symbol table for ND004.
+        self.set_names: set = set()
+        self._collect_set_annotations(tree)
+        #: Stack of (function name, is_handler_context, returns_float).
+        self._func_stack: List[tuple] = []
+
+    # ---------------------------------------------------------------- helpers
+
+    def _collect_set_annotations(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and _annotation_is_set(node.annotation):
+                target = _dotted_name(node.target)
+                if target is not None:
+                    self.set_names.add(target)
+                    self.set_names.add(target.rsplit(".", 1)[-1])
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                if _annotation_is_set(node.annotation):
+                    self.set_names.add(node.arg)
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    def _in_handler(self) -> bool:
+        return any(is_handler for _name, is_handler, _flt in self._func_stack)
+
+    def _current_returns_float(self) -> bool:
+        return bool(self._func_stack) and self._func_stack[-1][2]
+
+    def _current_name(self) -> str:
+        return self._func_stack[-1][0] if self._func_stack else "<module>"
+
+    # --------------------------------------------------------------- visitors
+
+    def _visit_funcdef(self, node) -> None:
+        returns_float = False
+        if node.returns is not None:
+            returns_float = _dotted_name(node.returns) == "float"
+        self._func_stack.append((node.name, _is_handler_context(node.name), returns_float))
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_funcdef
+    visit_AsyncFunctionDef = _visit_funcdef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            tail = ".".join(dotted.split(".")[-2:])
+            if tail in _WALL_CLOCKS:
+                self._emit(
+                    node,
+                    "ND001",
+                    f"call to wall clock {dotted!r}; simulated time is sim.now",
+                )
+            if dotted in _OS_ENTROPY:
+                self._emit(
+                    node,
+                    "ND003",
+                    f"call to OS entropy source {dotted!r}; derive values from "
+                    f"a seeded RNG instead",
+                )
+            parts = dotted.split(".")
+            if len(parts) == 2 and parts[0] == "random":
+                if parts[1] in _GLOBAL_RANDOM_FNS:
+                    self._emit(
+                        node,
+                        "ND002",
+                        f"module-level {dotted}() uses the global unseeded RNG; "
+                        f"use random.Random(seed)",
+                    )
+                elif parts[1] == "Random" and not node.args and not node.keywords:
+                    self._emit(
+                        node,
+                        "ND002",
+                        "random.Random() without a seed; pass an explicit seed",
+                    )
+        # Set.pop() returns an arbitrary element.
+        if (
+            self.sensitive
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and not node.args
+            and _is_set_expr(node.func.value, self.set_names)
+        ):
+            self._emit(
+                node,
+                "ND004",
+                "set.pop() removes an arbitrary element; order is not "
+                "reproducible",
+            )
+        self.generic_visit(node)
+
+    def _check_iteration(self, iterable: ast.AST, where: str) -> None:
+        if self.sensitive and _is_set_expr(iterable, self.set_names):
+            self._emit(
+                iterable,
+                "ND004",
+                f"iteration over a set in {where}; wrap in sorted(...) for a "
+                f"reproducible order",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for comp in node.generators:
+            self._check_iteration(comp.iter, "a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # ND005: float arithmetic flowing into *_ns names.
+
+    def _check_ns_value(self, target_name: Optional[str], value: ast.AST, node: ast.AST) -> None:
+        if not self.sensitive or target_name is None:
+            return
+        if not target_name.endswith("_ns"):
+            return
+        if self._current_returns_float():
+            # A function declared ``-> float`` is explicitly in the float
+            # domain (e.g. derived rates); ND005 guards integer-ns state.
+            return
+        if _has_unwrapped_float(value):
+            self._emit(
+                node,
+                "ND005",
+                f"float arithmetic assigned to integer-ns value "
+                f"{target_name!r}; wrap in int(round(...))",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_ns_value(_dotted_name(target), node.value, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target_name = _dotted_name(node.target)
+        if (
+            self.sensitive
+            and target_name is not None
+            and target_name.endswith("_ns")
+            and (isinstance(node.op, ast.Div) or _has_unwrapped_float(node.value))
+        ):
+            self._emit(
+                node,
+                "ND005",
+                f"float accumulation into integer-ns value {target_name!r}; "
+                f"use integer math or int(round(...))",
+            )
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_ns_value(_dotted_name(node.target), node.value, node)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if (
+            node.value is not None
+            and self._current_name().endswith("_ns")
+            and not self._current_returns_float()
+        ):
+            self._check_ns_value(self._current_name(), node.value, node)
+        self.generic_visit(node)
+
+    # NS101: discarded generator call.
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in _GENERATOR_APIS
+        ):
+            self._emit(
+                node,
+                "NS101",
+                f"result of generator API .{value.func.attr}(...) discarded; "
+                f"did you mean 'yield from ...'?",
+            )
+        self.generic_visit(node)
+
+    # NS102 / NS103: yields.
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        value = node.value
+        if value is not None:
+            if self._in_handler() and isinstance(value, ast.Call):
+                callee = _dotted_name(value.func)
+                if callee is not None and callee.rsplit(".", 1)[-1] in _FORBIDDEN_HANDLER_OPS:
+                    self._emit(
+                        node,
+                        "NS102",
+                        f"handler-context function {self._current_name()!r} "
+                        f"yields {callee}; handlers may only Compute",
+                    )
+            if (
+                self.sensitive
+                and isinstance(value, ast.Constant)
+                and value.value is not None
+            ):
+                self._emit(
+                    node,
+                    "NS103",
+                    f"yield of constant {value.value!r} to the kernel; "
+                    f"threads yield ops and processes yield events",
+                )
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        value = node.value
+        if (
+            self._in_handler()
+            and isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in _BLOCKING_APIS
+        ):
+            self._emit(
+                node,
+                "NS102",
+                f"handler-context function {self._current_name()!r} calls "
+                f"blocking .{value.func.attr}(...); use the non-blocking "
+                f"i-prefixed variant",
+            )
+        self.generic_visit(node)
+
+
+# ------------------------------------------------------------------- driving
+
+
+def _is_sensitive(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    return any(part in SENSITIVE_PARTS for part in parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    sensitive: Optional[bool] = None,
+    select: Optional[set] = None,
+    ignore: Optional[set] = None,
+) -> List[Finding]:
+    """Lint one source string; returns surviving findings."""
+    if sensitive is None:
+        sensitive = _is_sensitive(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        # An unparseable file is a finding, not a linter crash.
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    checker = _Checker(path, sensitive, tree)
+    checker.visit(tree)
+    checker.findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return filter_findings(
+        checker.findings, parse_suppressions(source), select=select, ignore=ignore
+    )
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[set] = None,
+    ignore: Optional[set] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (deterministic order)."""
+    findings: List[Finding] = []
+    for filename in _iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(
+            lint_source(source, path=filename, select=select, ignore=ignore)
+        )
+    return findings
+
+
+def render_text(findings: List[Finding]) -> str:
+    """Compiler-style text report, ending with a clean/summary line."""
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"nectarlint: {len(findings)} finding(s)" if findings else "nectarlint: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding]) -> str:
+    """JSON report: ``{"findings": [...]}``."""
+    return json.dumps(
+        {"findings": [finding.to_json() for finding in findings]}, indent=2
+    )
+
+
+def render_rules() -> str:
+    """The rule table (for --explain and the docs)."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code} ({rule.name}): {rule.summary}")
+        lines.append(f"    why: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry: ``python -m repro lint <paths> [options]``."""
+    paths: List[str] = []
+    fmt = "text"
+    strict = False
+    select: Optional[set] = None
+    ignore: Optional[set] = None
+    arguments = list(argv)
+    while arguments:
+        arg = arguments.pop(0)
+        if arg == "--strict":
+            strict = True
+        elif arg == "--explain":
+            print(render_rules())
+            return 0
+        elif arg == "--format":
+            if not arguments or arguments[0] not in ("text", "json"):
+                print("--format requires 'text' or 'json'", file=sys.stderr)
+                return 2
+            fmt = arguments.pop(0)
+        elif arg == "--select":
+            if not arguments:
+                print("--select requires a comma-separated code list", file=sys.stderr)
+                return 2
+            select = {code.strip().upper() for code in arguments.pop(0).split(",")}
+        elif arg == "--ignore":
+            if not arguments:
+                print("--ignore requires a comma-separated code list", file=sys.stderr)
+                return 2
+            ignore = {code.strip().upper() for code in arguments.pop(0).split(",")}
+        elif arg.startswith("-"):
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        print("usage: python -m repro lint <paths> [--strict] [--format json] "
+              "[--select CODES] [--ignore CODES] [--explain]", file=sys.stderr)
+        return 2
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        # A typo'd path must not read as a clean run.
+        for path in missing:
+            print(f"no such file or directory: {path}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, select=select, ignore=ignore)
+    try:
+        print(render_json(findings) if fmt == "json" else render_text(findings))
+    except BrokenPipeError:
+        # Output piped into head/less that exited early; the verdict stands.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    if findings and strict:
+        return 1
+    return 0

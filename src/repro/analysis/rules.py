@@ -1,0 +1,224 @@
+"""The nectarlint rule framework: registry, findings, suppressions.
+
+Every rule has a stable code (``ND0xx`` for determinism hazards, ``NS1xx``
+for simulated-concurrency/sim-safety hazards), a one-line summary, and the
+paper section whose invariant it protects.  The AST checks themselves live
+in :mod:`repro.analysis.nectarlint`; this module is pure bookkeeping so the
+rule table can be rendered (``--explain``), filtered (``--select`` /
+``--ignore``), and documented without importing the checker.
+
+Suppression: a ``# nectarlint: disable=ND004`` comment on the line of the
+finding (or ``disable=all``) silences it; ``# nectarlint: disable-file=XXX``
+anywhere in a file silences a code for the whole file.  Suppressions should
+carry a justifying note in the surrounding comment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "get_rule",
+    "parse_suppressions",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable code, summary, and paper rationale."""
+
+    code: str
+    name: str
+    summary: str
+    #: The paper section / repo promise this rule protects.
+    rationale: str
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def _register(code: str, name: str, summary: str, rationale: str) -> Rule:
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    rule = Rule(code, name, summary, rationale)
+    _REGISTRY[code] = rule
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in code order."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by code (raises KeyError for unknown codes)."""
+    return _REGISTRY[code]
+
+
+# --------------------------------------------------------------- determinism
+
+ND001 = _register(
+    "ND001",
+    "wall-clock",
+    "wall-clock time source (time.time, datetime.now, ...)",
+    "sim/core.py promises bit-for-bit reproducible runs; simulated time is "
+    "sim.now, never the host clock",
+)
+ND002 = _register(
+    "ND002",
+    "unseeded-random",
+    "module-level random.* call or random.Random() without a seed",
+    "unseeded RNG state differs between runs; all randomness must flow from "
+    "an explicit seed (cf. apps/workloads.py)",
+)
+ND003 = _register(
+    "ND003",
+    "os-entropy",
+    "os.urandom / uuid.uuid1 / uuid.uuid4 / secrets.* entropy source",
+    "OS entropy is unreproducible by construction; derive identifiers from "
+    "seeded RNGs or monotonic counters",
+)
+ND004 = _register(
+    "ND004",
+    "set-iteration",
+    "iteration over a set/frozenset (unordered) in simulation code",
+    "set iteration order depends on hash seeding and insertion history; "
+    "event ordering derived from it breaks reproducibility (sort first)",
+)
+ND005 = _register(
+    "ND005",
+    "float-ns",
+    "unwrapped float arithmetic feeding an integer-nanosecond value",
+    "costs are integer ns (model/costs.py); float accumulation drifts across "
+    "platforms — wrap in int(round(...)) or use integer math",
+)
+
+# ---------------------------------------------------------------- sim-safety
+
+NS101 = _register(
+    "NS101",
+    "discarded-generator",
+    "thread-context generator API called as a bare statement (missing "
+    "'yield from')",
+    "runtime ops (Mutex lock, mailbox begin_put, ...) are generators; a bare "
+    "call builds the generator and discards it — the operation never runs "
+    "(paper Sec. 3.1 thread context)",
+)
+NS102 = _register(
+    "NS102",
+    "blocking-in-handler",
+    "blocking thread-context operation inside i-prefixed / *_handler "
+    "interrupt-context code",
+    "interrupt handlers run masked and may only Compute (paper Sec. 3.1); "
+    "blocking corrupts the engine — use the i-prefixed non-blocking variants",
+)
+NS103 = _register(
+    "NS103",
+    "yield-non-event",
+    "yield of a plain constant to the simulation kernel",
+    "processes yield Events and threads yield ops (Compute/Block/...); a "
+    "constant yield is a SimulationError at run time — caught here instead",
+)
+
+
+# -------------------------------------------------------------------- output
+
+
+@dataclass
+class Finding:
+    """One lint finding, pointing at a file:line:col."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (compiler-style)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable dict form of this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "summary": (
+                _REGISTRY[self.code].summary
+                if self.code in _REGISTRY
+                else "unparseable source"
+            ),
+        }
+
+
+# -------------------------------------------------------------- suppressions
+
+_DISABLE_RE = re.compile(r"#\s*nectarlint:\s*disable=([A-Za-z0-9,\s]+)")
+_DISABLE_FILE_RE = re.compile(r"#\s*nectarlint:\s*disable-file=([A-Za-z0-9,\s]+)")
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression table parsed from source comments."""
+
+    #: line number -> codes disabled on that line ("ALL" disables everything).
+    by_line: Dict[int, set] = field(default_factory=dict)
+    #: codes disabled for the whole file.
+    whole_file: set = field(default_factory=set)
+
+    def active(self, line: int, code: str) -> bool:
+        """Whether ``code`` is suppressed at ``line``."""
+        if code in self.whole_file or "ALL" in self.whole_file:
+            return True
+        codes = self.by_line.get(line)
+        if codes is None:
+            return False
+        return code in codes or "ALL" in codes
+
+
+def _parse_codes(blob: str) -> set:
+    return {part.strip().upper() for part in blob.split(",") if part.strip()}
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan source text for nectarlint suppression comments."""
+    table = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_FILE_RE.search(text)
+        if match:
+            table.whole_file |= _parse_codes(match.group(1))
+            continue
+        match = _DISABLE_RE.search(text)
+        if match:
+            table.by_line.setdefault(lineno, set()).update(
+                _parse_codes(match.group(1))
+            )
+    return table
+
+
+def filter_findings(
+    findings: Iterable[Finding],
+    suppressions: Suppressions,
+    select: Optional[set] = None,
+    ignore: Optional[set] = None,
+) -> List[Finding]:
+    """Apply suppression comments and --select/--ignore filters."""
+    kept = []
+    for finding in findings:
+        if suppressions.active(finding.line, finding.code):
+            continue
+        if select and finding.code not in select:
+            continue
+        if ignore and finding.code in ignore:
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,612 @@
+"""Simulated-concurrency sanitizers for the CAB runtime.
+
+The paper's hardware made two invariants cheap: the CAB's single CPU made
+interrupt masking a sufficient critical section, and the shared buffer heap
+(Sec. 3.3) was managed by one trusted runtime.  Our simulator multiplexes
+many logical threads and interrupt handlers over one Python process, so the
+same bugs (leaked buffers, inconsistent lock order, unsynchronized access to
+shared data memory) are silent until they skew a benchmark.  This module is
+the opt-in instrumentation that makes them loud:
+
+* :class:`HeapSanitizer` — allocation-site accounting over
+  :class:`~repro.runtime.heap.BufferHeap`: leaks, double frees, overlap,
+  use-after-free of freed blocks that are touched through the
+  :class:`~repro.hw.memory.MemoryRegion`.
+* :class:`LockSanitizer` — a lockdep-style lock-order graph over
+  :class:`~repro.runtime.threads.Mutex` with cycle (potential deadlock)
+  detection, plus warnings for blocking while holding a lock.
+* :class:`RaceSanitizer` — a vector-clock happens-before race detector for
+  shared CAB data memory, with synchronization edges derived from mutex
+  unlock/lock pairs, mailbox queue/take pairs, and sync write/read pairs.
+
+Everything is reached through one :class:`Sanitizer` facade threaded into
+:class:`repro.system.NectarSystem(sanitizer=...)`; hooks in the runtime are
+single ``if self.sanitizer is not None`` guards, so the un-instrumented hot
+path costs one attribute test.
+
+Determinism: sanitizers observe the simulation, never perturb it — no hook
+schedules events or charges CPU time, and reports contain only names, sites
+and simulated timestamps, so sanitized runs stay bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "HeapSanitizer",
+    "LockSanitizer",
+    "RaceSanitizer",
+    "Sanitizer",
+    "SanitizerReport",
+]
+
+#: Basenames of instrumented runtime modules skipped when attributing a
+#: report to a call site (we want the caller of the runtime, not the
+#: runtime's own frame).
+_RUNTIME_BASENAMES = (
+    "sanitizers.py",
+    "heap.py",
+    "mailbox.py",
+    "threads.py",
+    "syncs.py",
+    "memory.py",
+    "cpu.py",
+    "core.py",
+    "kernel.py",
+    "board.py",
+    "primitives.py",
+)
+
+#: Hard cap on stored reports per kind, so a pathological run cannot grow
+#: memory without bound; overflow is counted, not stored.
+_MAX_REPORTS_PER_KIND = 200
+
+
+def _call_site() -> str:
+    """``file.py:line (function)`` of the nearest non-runtime caller frame."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        basename = filename.rsplit("/", 1)[-1]
+        if basename not in _RUNTIME_BASENAMES:
+            return f"{basename}:{frame.f_lineno} ({frame.f_code.co_name})"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@dataclass
+class SanitizerReport:
+    """One sanitizer diagnosis."""
+
+    kind: str  # heap-leak | heap-double-free | heap-overlap | heap-use-after-free
+    #        | lock-cycle | lock-across-block | memory-race
+    severity: str  # "error" or "warning"
+    message: str
+    site: str
+    time_ns: int
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One-line human-readable form of this report."""
+        return (
+            f"[{self.severity}] {self.kind} at t={self.time_ns}ns: "
+            f"{self.message} (site: {self.site})"
+        )
+
+
+class _SubSanitizer:
+    """Shared report plumbing for the three sanitizers."""
+
+    def __init__(self, parent: "Sanitizer"):
+        self.parent = parent
+
+    def _report(self, kind: str, severity: str, message: str,
+                site: Optional[str] = None, **details: Any) -> None:
+        self.parent._add_report(kind, severity, message,
+                                site if site is not None else _call_site(),
+                                details)
+
+
+# ------------------------------------------------------------------- heap
+
+
+@dataclass
+class _LiveAlloc:
+    size: int
+    site: str
+    permanent: bool = False
+
+
+class HeapSanitizer(_SubSanitizer):
+    """Leak / double-free / overlap / use-after-free accounting."""
+
+    def __init__(self, parent: "Sanitizer"):
+        super().__init__(parent)
+        #: heap name -> addr -> live allocation record.
+        self._live: Dict[str, Dict[int, _LiveAlloc]] = {}
+        #: heap name -> addr -> (size, alloc site, free site) of freed blocks.
+        self._freed: Dict[str, Dict[int, Tuple[int, str, str]]] = {}
+        #: region name -> heap (for attributing memory accesses to heaps).
+        self._region_heaps: Dict[str, Any] = {}
+        #: heap name -> heap object (for the end-of-run leak sweep).
+        self._heaps: Dict[str, Any] = {}
+
+    def register(self, heap: Any, region_name: Optional[str] = None) -> None:
+        """Bind a heap (and optionally the memory region it carves up)."""
+        self._heaps[heap.name] = heap
+        self._live.setdefault(heap.name, {})
+        self._freed.setdefault(heap.name, {})
+        if region_name is not None:
+            self._region_heaps[region_name] = heap
+
+    def on_alloc(self, heap: Any, addr: int, size: int) -> None:
+        """Record an allocation; report overlap with any live block."""
+        site = _call_site()
+        live = self._live.setdefault(heap.name, {})
+        for other_addr, record in live.items():
+            if addr < other_addr + record.size and other_addr < addr + size:
+                self._report(
+                    "heap-overlap",
+                    "error",
+                    f"{heap.name}: new block [{addr}, {addr + size}) overlaps "
+                    f"live block [{other_addr}, {other_addr + record.size}) "
+                    f"allocated at {record.site}",
+                    site=site,
+                    heap=heap.name,
+                    addr=addr,
+                    size=size,
+                )
+        live[addr] = _LiveAlloc(size, site)
+        # A recycled address is no longer use-after-free territory.
+        self._freed.setdefault(heap.name, {}).pop(addr, None)
+
+    def on_free(self, heap: Any, addr: int, size: int) -> None:
+        """Record a successful free (block becomes UAF territory)."""
+        site = _call_site()
+        live = self._live.setdefault(heap.name, {})
+        record = live.pop(addr, None)
+        alloc_site = record.site if record is not None else "<untracked>"
+        self._freed.setdefault(heap.name, {})[addr] = (size, alloc_site, site)
+
+    def on_bad_free(self, heap: Any, addr: int) -> None:
+        """Report a free of a freed (double-free) or unknown address."""
+        freed = self._freed.get(heap.name, {})
+        if addr in freed:
+            _size, alloc_site, free_site = freed[addr]
+            self._report(
+                "heap-double-free",
+                "error",
+                f"{heap.name}: double free of {addr} (allocated at "
+                f"{alloc_site}, first freed at {free_site})",
+                heap=heap.name,
+                addr=addr,
+            )
+        else:
+            self._report(
+                "heap-invalid-free",
+                "error",
+                f"{heap.name}: free of address {addr} that was never "
+                f"allocated",
+                heap=heap.name,
+                addr=addr,
+            )
+
+    def mark_permanent(self, heap: Any, addr: int) -> None:
+        """Exempt a deliberate forever-allocation (mailbox cached buffers)."""
+        record = self._live.get(heap.name, {}).get(addr)
+        if record is not None:
+            record.permanent = True
+
+    def on_memory_access(self, region: Any, addr: int, size: int, write: bool) -> None:
+        """Report reads/writes that touch freed heap blocks (UAF)."""
+        heap = self._region_heaps.get(region.name)
+        if heap is None:
+            return
+        freed = self._freed.get(heap.name)
+        if not freed:
+            return
+        for freed_addr, (freed_size, alloc_site, free_site) in freed.items():
+            if addr < freed_addr + freed_size and freed_addr < addr + size:
+                kind = "write" if write else "read"
+                self._report(
+                    "heap-use-after-free",
+                    "error",
+                    f"{region.name}: {kind} [{addr}, {addr + size}) touches "
+                    f"freed block [{freed_addr}, {freed_addr + freed_size}) "
+                    f"(allocated at {alloc_site}, freed at {free_site})",
+                    heap=heap.name,
+                    addr=addr,
+                    size=size,
+                )
+                return
+
+    def check(self) -> None:
+        """End-of-run leak sweep: every live, non-permanent block leaks."""
+        for heap_name, live in self._live.items():
+            for addr, record in live.items():
+                if record.permanent:
+                    continue
+                self._report(
+                    "heap-leak",
+                    "error",
+                    f"{heap_name}: {record.size} bytes at {addr} never freed "
+                    f"(allocated at {record.site})",
+                    site=record.site,
+                    heap=heap_name,
+                    addr=addr,
+                    size=record.size,
+                )
+
+
+# ------------------------------------------------------------------- locks
+
+
+class LockSanitizer(_SubSanitizer):
+    """Lock-order graph with deadlock-cycle detection (lockdep-style)."""
+
+    def __init__(self, parent: "Sanitizer"):
+        super().__init__(parent)
+        #: id(tcb) -> (tcb name, ordered list of held mutexes).
+        self._held: Dict[int, Tuple[str, List[Any]]] = {}
+        #: id(mutex) -> {id(mutex) -> site where the edge was first seen}.
+        self._edges: Dict[int, Dict[int, str]] = {}
+        #: id(mutex) -> display name.
+        self._names: Dict[int, str] = {}
+        #: edges already reported as cyclic (avoid repeats).
+        self._reported_edges: Dict[Tuple[int, int], bool] = {}
+
+    def _held_for(self, tcb: Any) -> List[Any]:
+        entry = self._held.get(id(tcb))
+        if entry is None:
+            entry = (tcb.name, [])
+            self._held[id(tcb)] = entry
+        return entry[1]
+
+    def _find_path(self, start: int, goal: int) -> Optional[List[int]]:
+        """DFS for a path start -> ... -> goal in the lock-order graph."""
+        stack = [(start, [start])]
+        visited = {start: True}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for succ in self._edges.get(node, {}):
+                if succ not in visited:
+                    visited[succ] = True
+                    stack.append((succ, path + [succ]))
+        return None
+
+    def on_lock(self, cpu: Any, mutex: Any) -> None:
+        """Record an acquisition; report a lock-order cycle if one forms."""
+        tcb = cpu.current
+        if tcb is None:
+            return
+        site = _call_site()
+        self._names[id(mutex)] = mutex.name
+        held = self._held_for(tcb)
+        for prior in held:
+            edges = self._edges.setdefault(id(prior), {})
+            if id(mutex) not in edges:
+                edges[id(mutex)] = site
+            # A path mutex -> ... -> prior plus the new edge prior -> mutex
+            # closes a cycle: two threads can acquire in opposite orders.
+            key = (id(prior), id(mutex))
+            if key in self._reported_edges:
+                continue
+            path = self._find_path(id(mutex), id(prior))
+            if path is not None:
+                self._reported_edges[key] = True
+                chain = " -> ".join(self._names.get(n, "?") for n in path)
+                self._report(
+                    "lock-cycle",
+                    "error",
+                    f"lock-order cycle: thread {tcb.name!r} acquires "
+                    f"{mutex.name!r} while holding {prior.name!r}, but the "
+                    f"order {chain} -> {mutex.name} was also observed "
+                    f"(first at {self._edges[id(prior)][id(mutex)]})",
+                    site=site,
+                    thread=tcb.name,
+                    locks=[self._names.get(n, "?") for n in path],
+                )
+        held.append(mutex)
+
+    def on_unlock(self, cpu: Any, mutex: Any) -> None:
+        """Record a release (lock leaves the holder's held-set)."""
+        tcb = cpu.current
+        if tcb is None:
+            return
+        held = self._held_for(tcb)
+        if mutex in held:
+            held.remove(mutex)
+
+    def on_thread_block(self, cpu: Any, tcb: Any, token: Any) -> None:
+        """Warn when a thread blocks while still holding mutexes."""
+        # Blocking on a contended mutex is lock-order territory, not a
+        # held-across-yield hazard; everything else (sleep, mailbox get,
+        # heap wait, condition wait) while holding a lock stalls every
+        # other thread needing that lock.
+        if token.name.startswith("lock:"):
+            return
+        entry = self._held.get(id(tcb))
+        if entry is None or not entry[1]:
+            return
+        held_names = ", ".join(m.name for m in entry[1])
+        self._report(
+            "lock-across-block",
+            "warning",
+            f"thread {tcb.name!r} blocked on {token.name!r} while holding "
+            f"{held_names}",
+            thread=tcb.name,
+            token=token.name,
+            held=[m.name for m in entry[1]],
+        )
+
+
+# ------------------------------------------------------------------- races
+
+
+@dataclass
+class _Access:
+    ctx: str
+    clock: int
+    addr: int
+    size: int
+    write: bool
+    site: str
+
+
+#: Per-region access history bound (older entries age out of race checks).
+_ACCESS_WINDOW = 512
+
+
+class RaceSanitizer(_SubSanitizer):
+    """Happens-before race detection over shared memory regions.
+
+    Each logical execution context (a CAB thread or an interrupt handler)
+    carries a vector clock.  Synchronization edges — mutex unlock/lock,
+    mailbox queue/take (per message), sync write/read — join clocks.  Two
+    accesses to overlapping bytes from different contexts, at least one a
+    write, with neither ordered before the other, are a race.
+    """
+
+    def __init__(self, parent: "Sanitizer"):
+        super().__init__(parent)
+        #: ctx label -> vector clock {ctx label -> int}.
+        self._clocks: Dict[str, Dict[str, int]] = {}
+        #: id(sync object) -> (label, clock snapshot) from the last release.
+        self._sync: Dict[int, Tuple[str, Dict[str, int]]] = {}
+        #: region name -> bounded access history.
+        self._accesses: Dict[str, List[_Access]] = {}
+        #: (site, site) pairs already reported (avoid repeats).
+        self._reported: Dict[Tuple[str, str], bool] = {}
+
+    def _clock(self, ctx: str) -> Dict[str, int]:
+        clock = self._clocks.get(ctx)
+        if clock is None:
+            clock = {ctx: 0}
+            self._clocks[ctx] = clock
+        return clock
+
+    def on_release(self, ctx: Optional[str], obj: Any, label: str) -> None:
+        """A sync object was released/published by ``ctx`` (send edge)."""
+        if ctx is None:
+            return
+        clock = self._clock(ctx)
+        clock[ctx] = clock.get(ctx, 0) + 1
+        _old_label, merged = self._sync.get(id(obj), (label, {}))
+        for key, value in clock.items():
+            if merged.get(key, 0) < value:
+                merged[key] = value
+        self._sync[id(obj)] = (label, merged)
+
+    def on_acquire(self, ctx: Optional[str], obj: Any, label: str) -> None:
+        """A sync object was acquired by ``ctx``; join the sender's clock."""
+        if ctx is None:
+            return
+        clock = self._clock(ctx)
+        stored = self._sync.get(id(obj))
+        if stored is not None:
+            for key, value in stored[1].items():
+                if clock.get(key, 0) < value:
+                    clock[key] = value
+        clock[ctx] = clock.get(ctx, 0) + 1
+
+    def on_fresh_buffer(self, region_name: str, addr: int, size: int) -> None:
+        """A buffer was (re)allocated: prior accesses no longer conflict."""
+        history = self._accesses.get(region_name)
+        if not history:
+            return
+        self._accesses[region_name] = [
+            access
+            for access in history
+            if not (access.addr < addr + size and addr < access.addr + access.size)
+        ]
+
+    def on_memory_access(
+        self, region: Any, addr: int, size: int, write: bool, ctx: Optional[str]
+    ) -> None:
+        """Check an access against unordered prior accesses (races)."""
+        if ctx is None or size <= 0:
+            return
+        site = _call_site()
+        clock = self._clock(ctx)
+        clock[ctx] = clock.get(ctx, 0) + 1
+        history = self._accesses.setdefault(region.name, [])
+        for access in history:
+            if access.ctx == ctx:
+                continue
+            if not (access.addr < addr + size and addr < access.addr + access.size):
+                continue
+            if not (write or access.write):
+                continue
+            if clock.get(access.ctx, 0) >= access.clock:
+                continue  # ordered: the prior access happens-before this one
+            key = (access.site, site)
+            if key in self._reported:
+                continue
+            self._reported[key] = True
+            this_kind = "write" if write else "read"
+            prev_kind = "write" if access.write else "read"
+            self._report(
+                "memory-race",
+                "error",
+                f"{region.name}: unsynchronized {this_kind} [{addr}, "
+                f"{addr + size}) by {ctx} races {prev_kind} [{access.addr}, "
+                f"{access.addr + access.size}) by {access.ctx} at "
+                f"{access.site}",
+                site=site,
+                region=region.name,
+                contexts=[access.ctx, ctx],
+                sites=[access.site, site],
+            )
+        history.append(_Access(ctx, clock[ctx], addr, size, write, site))
+        if len(history) > _ACCESS_WINDOW:
+            del history[: len(history) - _ACCESS_WINDOW]
+
+
+# ------------------------------------------------------------------ facade
+
+
+class Sanitizer:
+    """Bundle of the three sanitizers, threaded through the runtime.
+
+    Create one, pass it to ``NectarSystem(sanitizer=...)``, run a scenario,
+    then call :meth:`check` and inspect :attr:`reports` (or
+    :meth:`render`).  Sub-sanitizers can be disabled individually.
+    """
+
+    def __init__(self, heap: bool = True, locks: bool = True, races: bool = True,
+                 clock=None):
+        self.reports: List[SanitizerReport] = []
+        self.dropped_reports = 0
+        self._kind_counts: Dict[str, int] = {}
+        self._clock = clock if clock is not None else (lambda: 0)
+        self.heap = HeapSanitizer(self) if heap else None
+        self.locks = LockSanitizer(self) if locks else None
+        self.races = RaceSanitizer(self) if races else None
+
+    # -- wiring (called by Runtime/NectarSystem) -----------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulated clock used to timestamp reports."""
+        self._clock = clock
+
+    def register_heap(self, heap: Any, region_name: Optional[str] = None) -> None:
+        """Track a heap so leaks and UAF can be attributed to it."""
+        if self.heap is not None:
+            self.heap.register(heap, region_name)
+
+    # -- hook dispatch (called from instrumented runtime code) ---------------
+
+    def on_heap_alloc(self, heap: Any, addr: int, size: int,
+                      region_name: Optional[str] = None) -> None:
+        """Heap allocation hook (also clears stale race history)."""
+        if self.heap is not None:
+            self.heap.on_alloc(heap, addr, size)
+        if self.races is not None and region_name is not None:
+            self.races.on_fresh_buffer(region_name, addr, size)
+
+    def on_heap_free(self, heap: Any, addr: int, size: int) -> None:
+        """Heap free hook."""
+        if self.heap is not None:
+            self.heap.on_free(heap, addr, size)
+
+    def on_heap_bad_free(self, heap: Any, addr: int) -> None:
+        """Bad-free hook (double free / never-allocated address)."""
+        if self.heap is not None:
+            self.heap.on_bad_free(heap, addr)
+
+    def mark_permanent(self, heap: Any, addr: int) -> None:
+        """Exempt a deliberate forever-allocation from leak sweeps."""
+        if self.heap is not None:
+            self.heap.mark_permanent(heap, addr)
+
+    def on_cached_buffer(self, region_name: str, addr: int, size: int) -> None:
+        """A cached (permanent) buffer was recycled: clear race history."""
+        if self.races is not None:
+            self.races.on_fresh_buffer(region_name, addr, size)
+
+    def on_lock(self, cpu: Any, mutex: Any) -> None:
+        """Mutex acquired: feed the lock graph and a happens-before edge."""
+        if self.locks is not None:
+            self.locks.on_lock(cpu, mutex)
+        if self.races is not None:
+            self.races.on_acquire(cpu.context_label, mutex, f"mutex:{mutex.name}")
+
+    def on_unlock(self, cpu: Any, mutex: Any) -> None:
+        """Mutex released: update the lock graph and publish a clock."""
+        if self.races is not None:
+            self.races.on_release(cpu.context_label, mutex, f"mutex:{mutex.name}")
+        if self.locks is not None:
+            self.locks.on_unlock(cpu, mutex)
+
+    def on_thread_block(self, cpu: Any, tcb: Any, token: Any) -> None:
+        """Thread blocked: check for locks held across the wait."""
+        if self.locks is not None:
+            self.locks.on_thread_block(cpu, tcb, token)
+
+    def on_release(self, ctx: Optional[str], obj: Any, label: str) -> None:
+        """Generic release (mailbox queue, sync write) happens-before edge."""
+        if self.races is not None:
+            self.races.on_release(ctx, obj, label)
+
+    def on_acquire(self, ctx: Optional[str], obj: Any, label: str) -> None:
+        """Generic acquire (mailbox take, sync read) happens-before edge."""
+        if self.races is not None:
+            self.races.on_acquire(ctx, obj, label)
+
+    def on_memory_access(self, region: Any, addr: int, size: int, write: bool) -> None:
+        """Memory access: route to UAF and race detection."""
+        provider = getattr(region, "context_provider", None)
+        ctx = provider() if provider is not None else None
+        if self.races is not None:
+            self.races.on_memory_access(region, addr, size, write, ctx)
+        if self.heap is not None:
+            self.heap.on_memory_access(region, addr, size, write)
+
+    # -- results --------------------------------------------------------------
+
+    def _add_report(self, kind: str, severity: str, message: str, site: str,
+                    details: Dict[str, Any]) -> None:
+        count = self._kind_counts.get(kind, 0)
+        self._kind_counts[kind] = count + 1
+        if count >= _MAX_REPORTS_PER_KIND:
+            self.dropped_reports += 1
+            return
+        self.reports.append(
+            SanitizerReport(kind, severity, message, site, int(self._clock()), details)
+        )
+
+    def check(self) -> List[SanitizerReport]:
+        """Run end-of-run sweeps (heap leaks); returns all reports."""
+        if self.heap is not None:
+            self.heap.check()
+        return self.reports
+
+    @property
+    def errors(self) -> List[SanitizerReport]:
+        return [report for report in self.reports if report.severity == "error"]
+
+    @property
+    def warnings(self) -> List[SanitizerReport]:
+        return [report for report in self.reports if report.severity == "warning"]
+
+    def reports_of(self, kind: str) -> List[SanitizerReport]:
+        """All reports of one kind (e.g. ``"heap-leak"``)."""
+        return [report for report in self.reports if report.kind == kind]
+
+    def render(self) -> str:
+        """Render every report, or ``sanitizers: clean``."""
+        if not self.reports:
+            return "sanitizers: clean"
+        lines = [report.render() for report in self.reports]
+        if self.dropped_reports:
+            lines.append(f"... and {self.dropped_reports} more report(s) dropped")
+        lines.append(
+            f"sanitizers: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)

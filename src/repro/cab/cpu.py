@@ -192,6 +192,10 @@ class CPU:
         self.stats = StatsRegistry()
 
         self.current: Optional[TCB] = None
+        #: Optional repro.analysis.sanitizers.Sanitizer; one attribute test
+        #: on the hot path when detached.
+        self.sanitizer = None
+        self._active_handler: Optional[str] = None
         self._ready: list[tuple[int, int, TCB]] = []  # (-priority, seq, tcb)
         self._seq = 0
         self._pending_irqs: Deque[tuple[str, Callable[[], Optional[Generator]]]] = deque()
@@ -274,6 +278,17 @@ class CPU:
         return len(self._pending_irqs)
 
     @property
+    def context_label(self) -> Optional[str]:
+        """The logical execution context: an interrupt handler, the current
+        thread, or None (device/engine context).  Used by the sanitizers to
+        attribute memory accesses and synchronization edges."""
+        if self._active_handler is not None:
+            return f"{self.name}/irq:{self._active_handler}"
+        if self.current is not None:
+            return f"{self.name}/thread:{self.current.name}"
+        return None
+
+    @property
     def utilization_window_ns(self) -> int:
         return self.sim.now
 
@@ -326,10 +341,14 @@ class CPU:
         name, handler = self._pending_irqs.popleft()
         self.stats.add("interrupts_serviced")
         yield from self._charge(self.interrupt_entry_ns)
-        if hasattr(handler, "send"):
-            yield from self._run_handler(name, handler)
-        else:
-            handler()
+        self._active_handler = name
+        try:
+            if hasattr(handler, "send"):
+                yield from self._run_handler(name, handler)
+            else:
+                handler()
+        finally:
+            self._active_handler = None
         yield from self._charge(self.interrupt_exit_ns)
 
     def _run_handler(self, name: str, gen: Generator) -> Generator:
@@ -415,6 +434,8 @@ class CPU:
                     # wake() beat us to it: consume the value, keep running.
                     tcb.resume_value = token.value
                 else:
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_thread_block(self, tcb, token)
                     token.tcb = tcb
                     tcb.state = _BLOCKED
                     self.current = None

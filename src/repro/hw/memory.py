@@ -81,6 +81,11 @@ class MemoryRegion:
         self.size = size
         self._bytes = bytearray(size)
         self._domain: Optional[ProtectionDomain] = None
+        #: Optional repro.analysis.sanitizers.Sanitizer (race/UAF checks) and
+        #: the callable giving the current execution context label.  One
+        #: attribute test per access when detached.
+        self.sanitizer = None
+        self.context_provider = None
 
     # -- protection ----------------------------------------------------------
 
@@ -114,11 +119,15 @@ class MemoryRegion:
     def read(self, addr: int, size: int) -> bytes:
         """Bounds- and permission-checked read of ``size`` bytes."""
         self._check(addr, size, write=False)
+        if self.sanitizer is not None:
+            self.sanitizer.on_memory_access(self, addr, size, write=False)
         return bytes(self._bytes[addr : addr + size])
 
     def write(self, addr: int, data: bytes) -> None:
         """Bounds- and permission-checked write of ``data``."""
         self._check(addr, len(data), write=True)
+        if self.sanitizer is not None:
+            self.sanitizer.on_memory_access(self, addr, len(data), write=True)
         self._bytes[addr : addr + len(data)] = data
 
     def read_word(self, addr: int) -> int:
@@ -132,9 +141,13 @@ class MemoryRegion:
     def fill(self, addr: int, size: int, value: int = 0) -> None:
         """Set ``size`` bytes at ``addr`` to ``value``."""
         self._check(addr, size, write=True)
+        if self.sanitizer is not None:
+            self.sanitizer.on_memory_access(self, addr, size, write=True)
         self._bytes[addr : addr + size] = bytes([value & 0xFF]) * size
 
     def view(self, addr: int, size: int) -> memoryview:
         """A writable view (used by DMA engines; checked once here)."""
         self._check(addr, size, write=True)
+        if self.sanitizer is not None:
+            self.sanitizer.on_memory_access(self, addr, size, write=True)
         return memoryview(self._bytes)[addr : addr + size]

@@ -36,6 +36,12 @@ class BufferHeap:
         self.name = name
         self.base = base
         self.size = size
+        #: Optional repro.analysis.sanitizers.Sanitizer for leak/UAF
+        #: accounting; one attribute test per alloc/free when detached.
+        self.sanitizer = None
+        #: Name of the MemoryRegion this heap carves up (set by the wiring
+        #: in Runtime so sanitizers can attribute accesses to heap blocks).
+        self.region_name: Optional[str] = None
         # Address-ordered list of (addr, size) free blocks.
         self._free: list[tuple[int, int]] = [(base, size)]
         self._allocated: Dict[int, int] = {}
@@ -83,6 +89,10 @@ class BufferHeap:
                 else:
                     del self._free[index]
                 self._allocated[addr] = needed
+                if self.sanitizer is not None:
+                    self.sanitizer.on_heap_alloc(
+                        self, addr, needed, region_name=self.region_name
+                    )
                 return addr
         return None
 
@@ -100,8 +110,12 @@ class BufferHeap:
     def free(self, addr: int) -> None:
         """Return a block to the free list, coalescing neighbours."""
         if addr not in self._allocated:
+            if self.sanitizer is not None:
+                self.sanitizer.on_heap_bad_free(self, addr)
             raise NectarError(f"{self.name}: free of unallocated address {addr}")
         size = self._allocated.pop(addr)
+        if self.sanitizer is not None:
+            self.sanitizer.on_heap_free(self, addr, size)
         # Insert in address order.
         lo, hi = 0, len(self._free)
         while lo < hi:

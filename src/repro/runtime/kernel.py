@@ -31,24 +31,40 @@ CONTROL_RESERVE_BYTES = 64 * KB
 class Runtime:
     """The CAB runtime system."""
 
-    def __init__(self, cab: CAB, tracer: Optional[Tracer] = None):
+    def __init__(self, cab: CAB, tracer: Optional[Tracer] = None, sanitizer=None):
         self.cab = cab
         self.sim = cab.sim
         self.costs = cab.costs
         self.cpu = cab.cpu
         self.name = cab.name
+        #: Optional repro.analysis.sanitizers.Sanitizer threaded through the
+        #: whole runtime (heap, locks, mailboxes, memory accesses).
+        self.sanitizer = sanitizer
         self.ops = ThreadOps(cab.cpu, cab.costs)
         self.heap = BufferHeap(
             base=CONTROL_RESERVE_BYTES,
             size=DATA_MEMORY_BYTES - CONTROL_RESERVE_BYTES,
             name=f"{cab.name}.heap",
         )
+        if sanitizer is not None:
+            self._attach_sanitizer(sanitizer)
         self.heap_waiters: Deque[WaitToken] = deque()
         #: Plain callables poked when heap space frees (host-side waiters).
         self.heap_space_hooks: list = []
         self.mailboxes: Dict[str, Mailbox] = {}
         self.tracer = tracer if tracer is not None else Tracer(lambda: cab.sim.now)
         self.stats = StatsRegistry()
+
+    def _attach_sanitizer(self, sanitizer) -> None:
+        """Wire the sanitizer into every instrumented layer of this CAB."""
+        sanitizer.bind_clock(lambda: self.sim.now)
+        self.heap.sanitizer = sanitizer
+        self.heap.region_name = self.cab.data_mem.name
+        sanitizer.register_heap(self.heap, self.cab.data_mem.name)
+        self.ops.sanitizer = sanitizer
+        self.cpu.sanitizer = sanitizer
+        self.cab.data_mem.sanitizer = sanitizer
+        self.cab.data_mem.context_provider = lambda: self.cpu.context_label
 
     # ------------------------------------------------------------- mailboxes
 

@@ -61,7 +61,9 @@ class NectarNode:
         self.cab = CAB(system.sim, system.costs, name)
         system.network.attach(self.cab, hub, port)
         self.node_id = system.registry.register(name)
-        self.runtime = Runtime(self.cab, tracer=system.tracer)
+        self.runtime = Runtime(
+            self.cab, tracer=system.tracer, sanitizer=system.sanitizer
+        )
         self.datalink = Datalink(self.runtime, system.network, system.registry, mtu=mtu)
         self.ip = IPProtocol(
             self.runtime, self.datalink, system.registry, input_mode=ip_input_mode
@@ -92,9 +94,14 @@ class NectarNode:
 class NectarSystem:
     """A whole simulated Nectar installation."""
 
-    def __init__(self, costs: Optional[CostModel] = None):
+    def __init__(self, costs: Optional[CostModel] = None, sanitizer=None):
         self.sim = Simulator()
         self.costs = costs if costs is not None else DEFAULT_COSTS.copy()
+        #: Optional repro.analysis.sanitizers.Sanitizer wired into every
+        #: node's runtime (heap accounting, lock-order graph, race checks).
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.bind_clock(lambda: self.sim.now)
         self.tracer = Tracer(lambda: self.sim.now)
         self.network = NectarNetwork(self.sim, self.costs)
         self.registry = NodeRegistry(self.network)

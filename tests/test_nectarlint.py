@@ -1,0 +1,344 @@
+"""Unit tests for nectarlint, the static determinism/sim-safety checker.
+
+Each rule gets a positive case (bad code is flagged with the right code at
+the right line) and a negative case (the idiomatic equivalent passes).
+Suppression comments, path sensitivity, JSON output, and the CLI contract
+are covered at the end.
+"""
+
+import json
+import textwrap
+
+from repro.analysis import nectarlint
+from repro.analysis.rules import all_rules, get_rule, parse_suppressions
+
+SIM_PATH = "src/repro/sim/fake.py"  # triggers the sensitive-path rules
+PLAIN_PATH = "tools/fake.py"  # non-sensitive
+
+
+def lint(source, path=SIM_PATH, **kwargs):
+    return nectarlint.lint_source(textwrap.dedent(source), path=path, **kwargs)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+# ---------------------------------------------------------------- registry ----
+
+
+def test_registry_has_all_documented_rules():
+    registered = {rule.code for rule in all_rules()}
+    assert registered == {
+        "ND001", "ND002", "ND003", "ND004", "ND005",
+        "NS101", "NS102", "NS103",
+    }
+    for rule in all_rules():
+        assert rule.summary and rule.rationale
+
+
+def test_get_rule_lookup():
+    assert get_rule("ND001").name == all_rules()[0].name or get_rule("ND001").code == "ND001"
+
+
+# ------------------------------------------------------------ determinism ----
+
+
+def test_nd001_flags_wall_clock():
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert "ND001" in codes(findings)
+
+
+def test_nd001_allows_simulated_clock():
+    findings = lint(
+        """
+        def stamp(sim):
+            return sim.now
+        """
+    )
+    assert "ND001" not in codes(findings)
+
+
+def test_nd002_flags_global_random():
+    findings = lint(
+        """
+        import random
+
+        def pick(items):
+            return random.choice(items)
+        """
+    )
+    assert "ND002" in codes(findings)
+
+
+def test_nd002_allows_seeded_rng_instance():
+    findings = lint(
+        """
+        import random
+
+        def pick(items, rng: random.Random):
+            return rng.choice(items)
+        """
+    )
+    assert "ND002" not in codes(findings)
+
+
+def test_nd003_flags_os_entropy():
+    findings = lint(
+        """
+        import os
+        import uuid
+
+        def token():
+            return os.urandom(8) + uuid.uuid4().bytes
+        """
+    )
+    assert codes(findings).count("ND003") == 2
+
+
+def test_nd004_flags_set_iteration_in_sensitive_path():
+    findings = lint(
+        """
+        def drain(waiters: set):
+            for waiter in waiters:
+                waiter.wake()
+        """
+    )
+    assert "ND004" in codes(findings)
+
+
+def test_nd004_ignores_set_iteration_outside_sensitive_paths():
+    findings = lint(
+        """
+        def drain(waiters: set):
+            for waiter in waiters:
+                waiter.wake()
+        """,
+        path=PLAIN_PATH,
+    )
+    assert "ND004" not in codes(findings)
+
+
+def test_nd004_allows_sorted_set_iteration():
+    findings = lint(
+        """
+        def drain(waiters: set):
+            for waiter in sorted(waiters):
+                waiter.wake()
+        """
+    )
+    assert "ND004" not in codes(findings)
+
+
+def test_nd005_flags_float_time_arithmetic():
+    findings = lint(
+        """
+        def cost_ns(n):
+            latency_ns = n / 3
+            return latency_ns
+        """
+    )
+    assert "ND005" in codes(findings)
+
+
+def test_nd005_allows_integer_ns_and_float_returns():
+    findings = lint(
+        """
+        def cost_ns(n):
+            latency_ns = n // 3
+            return latency_ns
+
+        def mean_ns(total, count) -> float:
+            mean_ns = total / count
+            return mean_ns
+        """
+    )
+    assert "ND005" not in codes(findings)
+
+
+# -------------------------------------------------------------- sim safety ----
+
+
+def test_ns101_flags_discarded_generator_call():
+    findings = lint(
+        """
+        def body(ops, mutex):
+            ops.lock(mutex)
+            yield None
+        """
+    )
+    assert "NS101" in codes(findings)
+
+
+def test_ns101_allows_yield_from():
+    findings = lint(
+        """
+        def body(ops, mutex):
+            yield from ops.lock(mutex)
+        """
+    )
+    assert "NS101" not in codes(findings)
+
+
+def test_ns102_flags_blocking_op_in_handler():
+    findings = lint(
+        """
+        def rx_handler(ops, mutex):
+            yield from ops.lock(mutex)
+        """
+    )
+    assert "NS102" in codes(findings)
+
+
+def test_ns102_allows_blocking_op_in_thread_body():
+    findings = lint(
+        """
+        def rx_thread(ops, mutex):
+            yield from ops.lock(mutex)
+        """
+    )
+    assert "NS102" not in codes(findings)
+
+
+def test_ns103_flags_yield_of_plain_value():
+    findings = lint(
+        """
+        def body():
+            yield 42
+        """
+    )
+    assert "NS103" in codes(findings)
+
+
+def test_ns103_allows_event_yields():
+    findings = lint(
+        """
+        from repro.cab.cpu import Block, Compute
+
+        def body(token):
+            yield Compute(100)
+            value = yield Block(token)
+            return value
+        """
+    )
+    assert "NS103" not in codes(findings)
+
+
+# ------------------------------------------------------------ suppressions ----
+
+
+def test_same_line_suppression():
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # nectarlint: disable=ND001 -- test fixture
+        """
+    )
+    assert "ND001" not in codes(findings)
+
+
+def test_whole_file_suppression():
+    findings = lint(
+        """
+        # nectarlint: disable-file=ND001
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert "ND001" not in codes(findings)
+
+
+def test_parse_suppressions_extracts_codes():
+    suppressions = parse_suppressions(
+        "x = 1  # nectarlint: disable=ND001,ND002\n"
+    )
+    assert suppressions.active(1, "ND001")
+    assert suppressions.active(1, "ND002")
+    assert not suppressions.active(1, "ND003")
+    assert not suppressions.active(2, "ND001")
+
+
+def test_select_and_ignore_filters():
+    source = """
+    import time
+
+    def stamp():
+        return time.time() and 1 / 3
+    """
+    only_nd001 = lint(source, select={"ND001"})
+    assert set(codes(only_nd001)) == {"ND001"}
+    without_nd001 = lint(source, ignore={"ND001"})
+    assert "ND001" not in codes(without_nd001)
+
+
+# ------------------------------------------------------------------ output ----
+
+
+def test_findings_render_as_path_line_col():
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    rendered = findings[0].render()
+    assert rendered.startswith(SIM_PATH + ":")
+    assert "ND001" in rendered
+
+
+def test_json_output_round_trips():
+    findings = lint(
+        """
+        import os
+
+        def token():
+            return os.urandom(4)
+        """
+    )
+    payload = json.loads(nectarlint.render_json(findings))
+    entry = payload["findings"][0]
+    assert entry["code"] == "ND003"
+    assert entry["path"] == SIM_PATH
+    assert entry["line"] > 0
+
+
+def test_render_text_clean_message():
+    assert "clean" in nectarlint.render_text([])
+
+
+def test_cli_explain_lists_every_rule(capsys):
+    exit_code = nectarlint.main(["--explain"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.code in out
+
+
+def test_syntax_error_is_a_finding_not_a_crash():
+    findings = nectarlint.lint_source("def broken(:\n", path=SIM_PATH)
+    assert codes(findings) == ["E999"]
+    assert "syntax error" in findings[0].message
+    # JSON rendering must not choke on the unregistered code either.
+    payload = json.loads(nectarlint.render_json(findings))
+    assert payload["findings"][0]["code"] == "E999"
+
+
+def test_cli_strict_fails_on_findings(tmp_path):
+    bad = tmp_path / "sim" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\n\ndef t():\n    return time.time()\n")
+    assert nectarlint.main([str(bad), "--strict"]) == 1
+    assert nectarlint.main([str(bad)]) == 0  # non-strict reports but passes

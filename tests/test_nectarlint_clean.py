@@ -1,0 +1,32 @@
+"""CI gate: the shipped tree must be nectarlint-clean.
+
+Equivalent to ``PYTHONPATH=src python -m repro lint src/repro --strict``.
+Runs in-process (no subprocess) so it is fast and portable, plus one
+subprocess check that the CLI entry point itself works and exits 0.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis import nectarlint
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def test_src_repro_is_lint_clean():
+    findings = nectarlint.lint_paths([str(SRC / "repro")])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"nectarlint findings in shipped tree:\n{rendered}"
+
+
+def test_lint_cli_strict_exits_zero():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(SRC / "repro"), "--strict"],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "nectarlint: clean" in result.stdout

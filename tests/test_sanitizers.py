@@ -1,0 +1,204 @@
+"""Dynamic sanitizer tests: each detector must catch a planted bug and
+attribute it to the exact line in this file that committed it.
+
+Three planted bugs, one per sanitizer:
+
+* a heap buffer allocated and never freed (leak),
+* two threads taking the same two mutexes in opposite order (lock-order
+  cycle, i.e. potential deadlock),
+* two threads writing one :class:`~repro.hw.memory.MemoryRegion` range with
+  no synchronization edge between them (data race).
+"""
+
+import pytest
+
+from repro.analysis.sanitizers import Sanitizer
+from repro.cab.cpu import Compute
+from repro.runtime.heap import BufferHeap
+from repro.system import NectarSystem
+
+
+def _sanitized_node():
+    sanitizer = Sanitizer()
+    system = NectarSystem(sanitizer=sanitizer)
+    hub = system.add_hub("hub0")
+    node = system.add_node("cab-a", hub, 0)
+    return sanitizer, system, node
+
+
+def _site_lines(reports):
+    return [report.site for report in reports]
+
+
+# ------------------------------------------------------------------- heap ----
+
+
+def test_heap_leak_reports_allocation_site():
+    sanitizer = Sanitizer(locks=False, races=False)
+    heap = BufferHeap(base=0, size=4096, name="h")
+    heap.sanitizer = sanitizer
+    heap.region_name = "mem"
+    sanitizer.register_heap(heap, "mem")
+
+    leaked = heap.alloc(96)  # LEAK: never freed (this line is the site)
+    kept = heap.alloc(64)
+    heap.free(kept)
+
+    sanitizer.check()
+    leaks = sanitizer.reports_of("heap-leak")
+    assert len(leaks) == 1
+    report = leaks[0]
+    assert report.severity == "error"
+    assert f"addr={leaked}" in report.message or str(leaked) in report.message
+    # The allocation site must point at the heap.alloc(96) line above.
+    assert "test_sanitizers.py" in report.site
+    assert "test_heap_leak_reports_allocation_site" in report.site
+
+
+def test_heap_double_free_reported():
+    sanitizer = Sanitizer(locks=False, races=False)
+    heap = BufferHeap(base=0, size=1024, name="h")
+    heap.sanitizer = sanitizer
+    heap.region_name = "mem"
+    sanitizer.register_heap(heap, "mem")
+
+    addr = heap.alloc(32)
+    heap.free(addr)
+    with pytest.raises(Exception):
+        heap.free(addr)  # DOUBLE FREE (this line is the site)
+
+    doubles = sanitizer.reports_of("heap-double-free")
+    assert len(doubles) == 1
+    assert "test_sanitizers.py" in doubles[0].site
+
+
+def test_clean_heap_usage_reports_nothing():
+    sanitizer = Sanitizer(locks=False, races=False)
+    heap = BufferHeap(base=0, size=1024, name="h")
+    heap.sanitizer = sanitizer
+    heap.region_name = "mem"
+    sanitizer.register_heap(heap, "mem")
+
+    addr = heap.alloc(128)
+    heap.free(addr)
+    sanitizer.check()
+    assert not sanitizer.errors
+
+
+# ------------------------------------------------------------- lock order ----
+
+
+def test_lock_order_cycle_reports_site():
+    sanitizer, system, node = _sanitized_node()
+    runtime = node.runtime
+    ops = runtime.ops
+    mutex_a = runtime.mutex("A")
+    mutex_b = runtime.mutex("B")
+
+    def forward():
+        yield from ops.lock(mutex_a)
+        yield from ops.lock(mutex_b)  # establishes edge A -> B
+        yield from ops.unlock(mutex_b)
+        yield from ops.unlock(mutex_a)
+
+    def backward():
+        yield Compute(1000)  # run strictly after forward() finishes
+        yield from ops.lock(mutex_b)
+        yield from ops.lock(mutex_a)  # CYCLE: edge B -> A closes A -> B
+        yield from ops.unlock(mutex_a)
+        yield from ops.unlock(mutex_b)
+
+    runtime.fork_application(forward(), "forward")
+    runtime.fork_application(backward(), "backward")
+    system.run()
+
+    cycles = sanitizer.reports_of("lock-cycle")
+    assert len(cycles) == 1
+    report = cycles[0]
+    assert report.severity == "error"
+    assert "cab-a.A" in report.message and "cab-a.B" in report.message
+    assert "test_sanitizers.py" in report.site
+    assert "backward" in report.site
+
+
+def test_consistent_lock_order_is_clean():
+    sanitizer, system, node = _sanitized_node()
+    runtime = node.runtime
+    ops = runtime.ops
+    mutex_a = runtime.mutex("A")
+    mutex_b = runtime.mutex("B")
+
+    def worker(name):
+        yield from ops.lock(mutex_a)
+        yield from ops.lock(mutex_b)
+        yield Compute(100)
+        yield from ops.unlock(mutex_b)
+        yield from ops.unlock(mutex_a)
+
+    runtime.fork_application(worker("w1"), "w1")
+    runtime.fork_application(worker("w2"), "w2")
+    system.run()
+
+    assert sanitizer.reports_of("lock-cycle") == []
+
+
+# ------------------------------------------------------------------ races ----
+
+
+def test_memory_race_reports_both_sites():
+    sanitizer, system, node = _sanitized_node()
+    runtime = node.runtime
+    memory = node.cab.data_mem
+    scratch = 4096  # inside the control reserve, not heap-managed
+
+    def writer_one():
+        yield Compute(100)
+        memory.write(scratch, b"\xaa" * 16)  # RACE: no sync with writer_two
+
+    def writer_two():
+        yield Compute(200)
+        memory.write(scratch + 8, b"\xbb" * 16)  # RACE: overlaps writer_one
+
+    runtime.fork_application(writer_one(), "writer-one")
+    runtime.fork_application(writer_two(), "writer-two")
+    system.run()
+
+    races = sanitizer.reports_of("memory-race")
+    assert len(races) == 1
+    report = races[0]
+    assert report.severity == "error"
+    assert "writer-one" in report.message and "writer-two" in report.message
+    assert "test_sanitizers.py" in report.site
+    assert "writer_two" in report.site  # the later (racing) access
+    assert any("writer_one" in site for site in report.details["sites"])
+
+
+def test_mutex_protected_accesses_do_not_race():
+    sanitizer, system, node = _sanitized_node()
+    runtime = node.runtime
+    ops = runtime.ops
+    memory = node.cab.data_mem
+    mutex = runtime.mutex("guard")
+    scratch = 4096
+
+    def worker(pattern):
+        def body():
+            yield from ops.lock(mutex)
+            yield Compute(50)
+            memory.write(scratch, pattern * 16)
+            yield from ops.unlock(mutex)
+
+        return body()
+
+    runtime.fork_application(worker(b"\xaa"), "w1")
+    runtime.fork_application(worker(b"\xbb"), "w2")
+    system.run()
+
+    assert sanitizer.reports_of("memory-race") == []
+
+
+def test_full_datagram_scenario_is_sanitizer_clean():
+    from repro.analysis.driver import run_sanitized_scenario
+
+    sanitizer = run_sanitized_scenario(rounds=4, warmup=1)
+    assert not sanitizer.errors, sanitizer.render()
