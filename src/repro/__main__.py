@@ -3,10 +3,13 @@
 Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
         python -m repro  lint [paths...] [--strict] [--format json]
         python -m repro  analyze [--rounds N]
+        python -m repro  chaos [--scenario NAME] [--seed N] [--smoke] [--list]
 
 ``lint`` runs nectarlint, the static determinism/sim-safety checker
 (see :mod:`repro.analysis.nectarlint`); ``analyze`` runs the dynamic
-sanitizer + determinism harness (see :mod:`repro.analysis.driver`).
+sanitizer + determinism harness (see :mod:`repro.analysis.driver`);
+``chaos`` runs a fault-injection campaign against the reliable transports
+(see :mod:`repro.faults.campaign`).
 """
 
 from __future__ import annotations
@@ -34,6 +37,10 @@ def main(argv: list[str]) -> int:
         from repro.analysis import driver
 
         return driver.main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.faults import campaign
+
+        return campaign.main(argv[1:])
     targets = argv or ["all"]
     names = list(_EXPERIMENTS) if targets == ["all"] else targets
     for name in names:

@@ -1,0 +1,405 @@
+"""Chaos campaigns: run the reliable transports under a fault plan.
+
+A campaign assembles the paper's two-CAB measurement rig, attaches the
+scenario's :class:`~repro.faults.plan.FaultPlan`, and drives three
+concurrent workloads across the faulty fabric:
+
+* **RMP** — a stream of stop-and-wait messages (``cab-a`` -> ``cab-b``),
+* **request-response** — an RPC client calling an echo-upper server,
+* **TCP** — a byte stream pushed through a full connection.
+
+When the simulation settles, the campaign checks the repo's core invariant
+— every workload delivered **exactly once, in order, bit-exact** — and
+then re-runs the whole campaign from scratch to check that the entire run
+(final clock, every counter, every fault firing, every delivered byte) is
+**deterministic** for the fixed seed.  ``python -m repro chaos`` renders
+the result; exit status 0 means both invariants held.
+
+The report is rendered only from simulated quantities (counters, the
+simulated clock, payload digests), never wall-clock time, so two CLI
+invocations with the same scenario and seed print byte-identical text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.sim.core import SimulationError
+from repro.faults.scenarios import SCENARIOS, build
+from repro.protocols.headers import NectarTransportHeader
+from repro.system import NectarSystem
+from repro.units import ms, seconds
+
+__all__ = ["CampaignReport", "WorkloadOutcome", "main", "run_campaign"]
+
+#: Simulated-time budget for one campaign run.  TCP's exponential RTO
+#: backoff dominates the worst case; anything unfinished by now is stuck.
+CAMPAIGN_DEADLINE_NS = seconds(30)
+
+
+@dataclass
+class _Sizes:
+    """How much traffic each workload pushes."""
+
+    rmp_messages: int
+    rpc_requests: int
+    tcp_bytes: int
+
+    @classmethod
+    def full(cls) -> "_Sizes":
+        """The standard campaign load."""
+        return cls(rmp_messages=12, rpc_requests=8, tcp_bytes=6144)
+
+    @classmethod
+    def smoke(cls) -> "_Sizes":
+        """A fast load for CI smoke runs."""
+        return cls(rmp_messages=4, rpc_requests=3, tcp_bytes=1024)
+
+
+@dataclass
+class WorkloadOutcome:
+    """What one workload expected, what it got, and how it ended."""
+
+    name: str
+    expected: List[bytes] = field(default_factory=list)
+    received: List[bytes] = field(default_factory=list)
+    error: Optional[str] = None
+    finished: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Exactly-once, in-order, bit-exact — and nothing blew up."""
+        return self.finished and self.error is None and self.received == self.expected
+
+    def digest(self) -> str:
+        """SHA-256 over the delivered payloads (order-sensitive)."""
+        h = hashlib.sha256()
+        for item in self.received:
+            h.update(len(item).to_bytes(8, "big"))
+            h.update(item)
+        return h.hexdigest()
+
+
+def _workload_rmp(a, b, outcome: WorkloadOutcome) -> None:
+    """Fork the RMP stream workload onto the two nodes."""
+    inbox = b.runtime.mailbox("chaos-rmp-inbox")
+    chan = a.rmp.open(100, b.node_id, 200)
+    b.rmp.open(200, a.node_id, 100, deliver_mailbox=inbox)
+
+    def sender():
+        """Send every payload reliably; record a ProtocolError verbatim."""
+        try:
+            for payload in outcome.expected:
+                yield from a.rmp.send(chan, payload)
+        except ProtocolError as exc:
+            outcome.error = f"sender: {exc}"
+
+    def receiver():
+        """Collect the expected number of messages, then declare done."""
+        for _ in outcome.expected:
+            msg = yield from inbox.begin_get()
+            outcome.received.append(msg.read())
+            yield from inbox.end_get(msg)
+        outcome.finished = True
+
+    a.runtime.fork_application(sender(), "chaos-rmp-sender")
+    b.runtime.fork_application(receiver(), "chaos-rmp-receiver")
+
+
+def _workload_rpc(a, b, requests: List[bytes], outcome: WorkloadOutcome) -> None:
+    """Fork the request-response workload (client on ``a``, server on ``b``)."""
+    server_mailbox = b.runtime.mailbox("chaos-rpc-server")
+    b.rpc.serve(700, server_mailbox)
+    outcome.expected = [request.upper() for request in requests]
+
+    def server():
+        """Echo-upper server: duplicate requests are replayed from cache."""
+        while True:
+            msg = yield from server_mailbox.begin_get()
+            header = NectarTransportHeader.unpack(
+                msg.read(0, NectarTransportHeader.SIZE)
+            )
+            body = msg.read(NectarTransportHeader.SIZE)
+            yield from server_mailbox.end_get(msg)
+            yield from b.rpc.respond(header, body.upper())
+
+    def client():
+        """Issue every request in order; record a ProtocolError verbatim."""
+        try:
+            port = a.rpc.allocate_client_port()
+            for request in requests:
+                reply = yield from a.rpc.request(
+                    port, b.node_id, 700, request, timeout_ns=ms(2)
+                )
+                outcome.received.append(reply)
+            outcome.finished = True
+        except ProtocolError as exc:
+            outcome.error = f"client: {exc}"
+
+    b.runtime.fork_system(server(), "chaos-rpc-server")
+    a.runtime.fork_application(client(), "chaos-rpc-client")
+
+
+def _workload_tcp(a, b, payload: bytes, outcome: WorkloadOutcome) -> None:
+    """Fork the TCP stream workload (client on ``a`` pushes to ``b``)."""
+    outcome.expected = [payload]
+    server_inbox = b.runtime.mailbox("chaos-tcp-inbox")
+    b.tcp.listen(7000, lambda conn: server_inbox)
+
+    def client():
+        """Connect and push the whole stream; record failures verbatim."""
+        try:
+            inbox = a.runtime.mailbox("chaos-tcp-cli")
+            conn = yield from a.tcp.connect(6000, b.ip_address, 7000, inbox)
+            yield from a.tcp.send_direct(conn, payload)
+        except ProtocolError as exc:
+            outcome.error = f"client: {exc}"
+
+    def collector():
+        """Reassemble the stream until every byte has arrived."""
+        received = bytearray()
+        while len(received) < len(payload):
+            msg = yield from server_inbox.begin_get()
+            received.extend(msg.read())
+            yield from server_inbox.end_get(msg)
+        outcome.received.append(bytes(received))
+        outcome.finished = True
+
+    a.runtime.fork_application(client(), "chaos-tcp-client")
+    b.runtime.fork_application(collector(), "chaos-tcp-collector")
+
+
+@dataclass
+class _CampaignRun:
+    """Everything one execution of a campaign produced."""
+
+    outcomes: Dict[str, WorkloadOutcome]
+    counters: Dict[str, int]
+    fired: Tuple[Tuple[int, str, str], ...]
+    fires_text: str
+    final_ns: int
+    run_error: Optional[str]
+
+    def signature(self) -> Tuple:
+        """A value equal between two runs iff the runs were identical."""
+        return (
+            self.final_ns,
+            tuple(sorted(self.counters.items())),
+            self.fired,
+            tuple(
+                (name, out.finished, out.error, out.digest())
+                for name, out in sorted(self.outcomes.items())
+            ),
+            self.run_error,
+        )
+
+
+def _run_once(scenario: str, seed: int, sizes: _Sizes) -> _CampaignRun:
+    """Build a fresh rig, attach the plan, run all workloads to quiescence."""
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    a = system.add_node("cab-a", hub, 0)
+    b = system.add_node("cab-b", hub, 1)
+    injector = system.attach_fault_plan(build(scenario, seed))
+
+    outcomes = {
+        "rmp": WorkloadOutcome(
+            "rmp",
+            expected=[
+                bytes([index & 0xFF]) * (96 * (index % 5 + 1))
+                for index in range(sizes.rmp_messages)
+            ],
+        ),
+        "rpc": WorkloadOutcome("rpc"),
+        "tcp": WorkloadOutcome("tcp"),
+    }
+    _workload_rmp(a, b, outcomes["rmp"])
+    _workload_rpc(
+        a,
+        b,
+        [b"request-%02d" % index * 8 for index in range(sizes.rpc_requests)],
+        outcomes["rpc"],
+    )
+    _workload_tcp(
+        a, b, bytes(range(256)) * (sizes.tcp_bytes // 256), outcomes["tcp"]
+    )
+
+    run_error: Optional[str] = None
+    try:
+        system.run(until=CAMPAIGN_DEADLINE_NS)
+    except (ProtocolError, SimulationError) as exc:
+        run_error = f"{type(exc).__name__}: {exc}"
+
+    counters: Dict[str, int] = {}
+    for prefix, registry in (
+        ("cab-a", a.runtime.stats),
+        ("cab-a.hw", a.cab.stats),
+        ("cab-b", b.runtime.stats),
+        ("cab-b.hw", b.cab.stats),
+        ("net", system.network.stats),
+        ("fault", injector.stats),
+    ):
+        for name, value in registry.snapshot().items():
+            counters[f"{prefix}.{name}"] = value
+    return _CampaignRun(
+        outcomes=outcomes,
+        counters=counters,
+        fired=tuple(injector.fired),
+        fires_text=injector.describe_fires(),
+        final_ns=system.now,
+        run_error=run_error,
+    )
+
+
+@dataclass
+class CampaignReport:
+    """The rendered result of a chaos campaign (including determinism)."""
+
+    scenario: str
+    seed: int
+    run: _CampaignRun
+    deterministic: bool
+
+    @property
+    def delivery_ok(self) -> bool:
+        """Did every workload deliver exactly once, in order, bit-exact?"""
+        return self.run.run_error is None and all(
+            out.ok for out in self.run.outcomes.values()
+        )
+
+    @property
+    def passed(self) -> bool:
+        """Overall verdict: delivery invariant AND determinism."""
+        return self.delivery_ok and self.deterministic
+
+    def _counter(self, *names: str) -> int:
+        """Sum the named counters across the run."""
+        return sum(self.run.counters.get(name, 0) for name in names)
+
+    @property
+    def retransmissions(self) -> int:
+        """All retransmit counters across the three transports."""
+        return self._counter(
+            "cab-a.rmp_retransmits",
+            "cab-b.rmp_retransmits",
+            "cab-a.rpc_retries",
+            "cab-b.rpc_retries",
+            "cab-a.tcp_retransmits",
+            "cab-b.tcp_retransmits",
+        )
+
+    @property
+    def crc_drops(self) -> int:
+        """Frames rejected by the receive-side hardware CRC check."""
+        return self._counter("cab-a.hw.crc_errors", "cab-b.hw.crc_errors")
+
+    @property
+    def dropped(self) -> int:
+        """Frames/messages eaten anywhere: fabric, CRC, datalink, mailbox."""
+        return (
+            self._counter(
+                "net.frames_dropped",
+                "cab-a.hw.dl_fault_drops",
+                "cab-b.hw.dl_fault_drops",
+                "cab-a.fault_lost_messages",
+                "cab-b.fault_lost_messages",
+            )
+            + self.crc_drops
+        )
+
+    def render(self) -> str:
+        """The stable multi-line report text (simulated quantities only)."""
+        run = self.run
+        lines = [
+            f"chaos campaign: {self.scenario} (seed {self.seed})",
+            f"simulated time: {run.final_ns} ns",
+            "workloads:",
+        ]
+        for name in sorted(run.outcomes):
+            out = run.outcomes[name]
+            status = "ok" if out.ok else (out.error or "incomplete")
+            lines.append(
+                f"  {name}: delivered {len(out.received)}/{len(out.expected)}"
+                f" [{status}] digest={out.digest()[:16]}"
+            )
+        if run.run_error is not None:
+            lines.append(f"run error: {run.run_error}")
+        lines.append(
+            "recovery: "
+            f"retransmissions={self.retransmissions} "
+            f"crc_drops={self.crc_drops} "
+            f"dropped={self.dropped}"
+        )
+        fault_totals = " ".join(
+            f"{name.split('.', 1)[1]}={value}"
+            for name, value in sorted(run.counters.items())
+            if name.startswith("fault.")
+        )
+        lines.append(f"faults fired: {fault_totals or '(none)'}")
+        lines.append("fault specs:")
+        lines.append(run.fires_text)
+        lines.append(
+            "invariant exactly-once in-order bit-exact delivery: "
+            + ("OK" if self.delivery_ok else "VIOLATED")
+        )
+        lines.append(
+            "invariant determinism (two identical runs): "
+            + ("OK" if self.deterministic else "VIOLATED")
+        )
+        lines.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def run_campaign(scenario: str, seed: int, smoke: bool = False) -> CampaignReport:
+    """Run the named scenario twice and report delivery + determinism."""
+    sizes = _Sizes.smoke() if smoke else _Sizes.full()
+    first = _run_once(scenario, seed, sizes)
+    second = _run_once(scenario, seed, sizes)
+    return CampaignReport(
+        scenario=scenario,
+        seed=seed,
+        run=first,
+        deterministic=first.signature() == second.signature(),
+    )
+
+
+def main(argv: List[str]) -> int:
+    """CLI: ``python -m repro chaos [--scenario NAME] [--seed N] [--smoke]``."""
+    scenario = "lossy-link"
+    seed = 7
+    smoke = False
+    arguments = list(argv)
+    while arguments:
+        arg = arguments.pop(0)
+        if arg == "--scenario":
+            if not arguments:
+                print("--scenario requires a name", file=sys.stderr)
+                return 2
+            scenario = arguments.pop(0)
+        elif arg == "--seed":
+            if not arguments or not arguments[0].lstrip("-").isdigit():
+                print("--seed requires an integer", file=sys.stderr)
+                return 2
+            seed = int(arguments.pop(0))
+        elif arg == "--smoke":
+            smoke = True
+        elif arg == "--list":
+            for name in sorted(SCENARIOS):
+                print(name)
+            return 0
+        else:
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
+    if scenario not in SCENARIOS:
+        print(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_campaign(scenario, seed, smoke=smoke)
+    print(report.render())
+    return 0 if report.passed else 1

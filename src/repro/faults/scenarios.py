@@ -1,0 +1,118 @@
+"""Canned chaos campaigns: named fault plans parameterized only by a seed.
+
+Each scenario is a function ``seed -> FaultPlan`` registered in
+:data:`SCENARIOS`.  The parameters are tuned so every reliable transport's
+recovery path actually fires (retransmits, CRC drops, duplicate
+suppression) while staying inside the bounded-retry limits — a canned
+campaign is supposed to *pass* its invariants, proving recovery works, not
+to starve the protocols to death.
+
+* ``lossy-link`` — independent per-frame drop + corruption on every link
+  for the whole run: the bread-and-butter loss-recovery workout.
+* ``bursty-corruption`` — short windows in which most frames are corrupted
+  (CRC storms), clean air in between.
+* ``flapping-cab`` — CAB ``cab-b`` blacks out twice (crash/restart); a
+  light background drop keeps the in-between interesting.
+* ``overloaded-fifo`` — ``cab-b``'s input FIFO is squeezed to a sliver and
+  ``cab-a``'s link stalls per frame, exercising back-pressure; light
+  mailbox loss at ``tcp-input`` models host-interface pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    CORRUPT,
+    CRASH,
+    DROP,
+    MBOX_LOSE,
+    SQUEEZE,
+    STALL,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.units import ms, us
+
+__all__ = ["SCENARIOS", "build"]
+
+
+def lossy_link(seed: int) -> FaultPlan:
+    """Per-frame seeded drop + corruption on every link, whole run."""
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(kind=DROP, where="*", probability=0.06),
+            FaultSpec(kind=CORRUPT, where="*", probability=0.06),
+        ),
+    )
+
+
+def bursty_corruption(seed: int) -> FaultPlan:
+    """Two corruption storms; most frames inside a burst are mangled."""
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                kind=CORRUPT, where="*", probability=0.7, window_ns=(us(200), ms(1))
+            ),
+            FaultSpec(
+                kind=CORRUPT, where="*", probability=0.7, window_ns=(ms(2), ms(3))
+            ),
+            FaultSpec(kind=DROP, where="*", probability=0.02),
+        ),
+    )
+
+
+def flapping_cab(seed: int) -> FaultPlan:
+    """``cab-b`` blacks out twice; light background drop elsewhere.
+
+    The blackout windows sit inside the first few hundred microseconds,
+    where the campaign workloads are busiest, so each outage actually eats
+    in-flight frames rather than arriving after the traffic has finished.
+    """
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(kind=CRASH, where="cab-b", window_ns=(us(200), us(600))),
+            FaultSpec(kind=CRASH, where="cab-b", window_ns=(ms(2), us(2600))),
+            FaultSpec(kind=DROP, where="*", probability=0.03),
+        ),
+    )
+
+
+def overloaded_fifo(seed: int) -> FaultPlan:
+    """Back-pressure: squeezed input FIFO, stalled link, mailbox loss."""
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                kind=SQUEEZE,
+                where="cab-b.fiber-in",
+                squeeze_bytes=28 * 1024,
+                window_ns=(ms(1), ms(4)),
+            ),
+            FaultSpec(kind=STALL, where="cab-a", stall_ns=us(40), probability=0.5),
+            FaultSpec(kind=MBOX_LOSE, where="tcp-input", probability=0.05),
+            FaultSpec(kind=CORRUPT, where="*", probability=0.04),
+        ),
+    )
+
+
+#: Scenario name -> plan builder.  Names are CLI-visible.
+SCENARIOS: Dict[str, Callable[[int], FaultPlan]] = {
+    "lossy-link": lossy_link,
+    "bursty-corruption": bursty_corruption,
+    "flapping-cab": flapping_cab,
+    "overloaded-fifo": overloaded_fifo,
+}
+
+
+def build(name: str, seed: int) -> FaultPlan:
+    """Build the named scenario's plan for ``seed`` (raises on unknown name)."""
+    if name not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown chaos scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    return SCENARIOS[name](seed)

@@ -108,6 +108,10 @@ class NectarNetwork:
         self.stats = StatsRegistry()
         #: Called once per frame at egress; may corrupt bytes or set drop.
         self.fault_injector: Optional[Callable[[Frame], None]] = None
+        #: Richer seam for :class:`repro.faults.injector.Injector`: gets the
+        #: source *and* destination CAB names per frame (drop/corrupt/crash)
+        #: plus a per-frame stall delay.  Installed by NectarSystem.
+        self.fault_hooks = None
         self._route_cache: Dict[tuple[str, str], tuple[int, ...]] = {}
 
     # -- construction -----------------------------------------------------------
@@ -185,6 +189,13 @@ class NectarNetwork:
                 )
             if self.fault_injector is not None:
                 self.fault_injector(frame)
+            if self.fault_hooks is not None:
+                dest = self._frame_dest(node, frame)
+                self.fault_hooks.on_link_frame(node.name, dest, frame)
+                stall_ns = self.fault_hooks.link_delay_ns(node.name)
+                if stall_ns:
+                    self.stats.add("frames_stalled")
+                    yield self.sim.timeout(stall_ns)
 
             if frame.drop:
                 yield from self._consume_frame(fifo, chunk)
@@ -209,6 +220,13 @@ class NectarNetwork:
                         hub.release_output(port)
             self.stats.add("frames_delivered")
             self.stats.add("bytes_delivered", frame.size)
+
+    def _frame_dest(self, node: NetworkNode, frame: Frame) -> str:
+        """The destination CAB name of a frame (for fault-hook matching)."""
+        circuit = frame.circuit
+        if circuit is not None:
+            return circuit.plan.dest.name  # type: ignore[attr-defined]
+        return self.plan_path(node, frame.route).dest.name
 
     def _stream_frame(self, node, fifo, first_chunk, plan: PathPlan) -> Generator:
         """Push a frame's chunks into the destination FIFO at line rate."""

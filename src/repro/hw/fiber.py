@@ -67,6 +67,18 @@ class Frame:
         """Ingress check: does the payload still match the egress CRC?"""
         return crc32(bytes(self.payload)) == self.crc
 
+    def corrupt(self, index: int) -> None:
+        """Flip one payload byte in place (a wire fault).
+
+        Called after :meth:`seal`, so the egress CRC no longer matches and
+        the receiving CAB's hardware CRC check rejects the frame.
+        """
+        if not 0 <= index < len(self.payload):
+            raise CABError(
+                f"corrupt index {index} outside {len(self.payload)}-byte payload"
+            )
+        self.payload[index] ^= 0xFF
+
     def chunks(self) -> Iterator[Chunk]:
         """Split the frame into link chunks."""
         total = len(self.payload)

@@ -51,6 +51,11 @@ class ByteFIFO:
         self.name = name
         self.capacity = capacity
         self.level = 0  # bytes currently buffered
+        #: Bytes withheld from producers by a fault-injection squeeze.  Only
+        #: space *grants* honour the reserve, so a producer that was already
+        #: granted space can still push — the squeeze adds back-pressure but
+        #: never turns a legal push into an overflow.
+        self.squeeze_reserve = 0
         self._chunks: Deque[Chunk] = deque()
         self._space_waiters: Deque[tuple[int, Event]] = deque()
         self._data_waiters: Deque[Event] = deque()
@@ -63,6 +68,11 @@ class ByteFIFO:
     @property
     def free(self) -> int:
         return self.capacity - self.level
+
+    @property
+    def grantable(self) -> int:
+        """Free space visible to new grants (squeeze reserve withheld)."""
+        return self.capacity - self.level - self.squeeze_reserve
 
     @property
     def is_empty(self) -> bool:
@@ -82,7 +92,7 @@ class ByteFIFO:
                 f"{self.capacity}"
             )
         event = self.sim.event(name=f"space:{self.name}")
-        if not self._space_waiters and self.free >= nbytes:
+        if not self._space_waiters and self.grantable >= nbytes:
             event.succeed()
         else:
             self._space_waiters.append((nbytes, event))
@@ -137,9 +147,13 @@ class ByteFIFO:
         self._grant_space()
         return chunks
 
+    def recheck_space(self) -> None:
+        """Re-run space granting (after a squeeze reserve is released)."""
+        self._grant_space()
+
     # -- internal ------------------------------------------------------------
 
     def _grant_space(self) -> None:
-        while self._space_waiters and self.free >= self._space_waiters[0][0]:
+        while self._space_waiters and self.grantable >= self._space_waiters[0][0]:
             _nbytes, event = self._space_waiters.popleft()
             event.succeed()

@@ -153,6 +153,13 @@ class Datalink:
     def _sop_handler(self, frame: Frame) -> Generator:
         """Start-of-packet interrupt handler."""
         yield Compute(self.costs.dl_sop_handler_ns)
+        injector = self.runtime.fault_injector
+        if injector is not None and injector.datalink_rx_drop(self.cab.name, frame):
+            # Injected software drop: a good frame is discarded before
+            # dispatch (interrupt/buffer pressure); transports recover.
+            self.stats.add("dl_fault_drops")
+            self.cab.discard_rx(frame)
+            return
         try:
             header = DatalinkHeader.unpack(bytes(frame.payload[: DatalinkHeader.SIZE]))
         except ProtocolError:

@@ -210,10 +210,21 @@ class RMPProtocol:
                 )
             else:
                 yield from self.transport.input_mailbox.iabort_put(msg)
-        else:
-            # Duplicate (our ACK was lost) or out of order: drop, re-ACK.
+        elif header.seq < channel.recv_seq:
+            # Duplicate (our ACK was lost): drop, re-ACK below.
             self.stats.add("rmp_duplicates")
             yield from self.transport.input_mailbox.iabort_put(msg)
+        else:
+            # Future sequence: a restarted peer or skipped-ahead sender.
+            # Stop-and-wait never produces this in normal operation; drop
+            # it and, if nothing was ever delivered, stay silent — there
+            # is no previous sequence to re-ACK (the header cannot even
+            # encode one), and the sender's bounded retry gives up with a
+            # ProtocolError rather than retransmitting forever.
+            self.stats.add("rmp_out_of_window")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            if channel.recv_seq == 0:
+                return
         ack = NectarTransportHeader(
             protocol=NECTAR_PROTO_RMP,
             kind=NECTAR_KIND_ACK,

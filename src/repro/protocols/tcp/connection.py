@@ -85,6 +85,10 @@ MIN_RTO_NS = ms(10)
 MAX_RTO_NS = ms(2_000)
 #: Give up after this many retransmissions of one segment.
 MAX_RETRANSMITS = 8
+#: Give up after this many consecutive unanswered zero-window probes.  Any
+#: ACK from the peer resets the count, so a live-but-slow receiver is never
+#: aborted — only a peer that has gone completely silent.
+MAX_WINDOW_PROBES = 12
 #: TIME_WAIT duration (2*MSL, scaled for a LAN simulation).
 TIME_WAIT_NS = ms(100)
 
@@ -137,6 +141,8 @@ class TCPConnection:
         self.rttvar_ns: int = 0
         self.rto_ns = INITIAL_RTO_NS
         self.rto_deadline_ns: Optional[int] = None
+        # Consecutive zero-window probes sent without hearing any ACK back.
+        self.window_probes = 0
 
         # Congestion control (Tahoe-style, 1988-era; enabled per protocol).
         # cwnd/ssthresh are in bytes; inactive unless tcp.congestion_control.

@@ -40,6 +40,7 @@ from repro.protocols.headers import (
 from repro.protocols.ip import IPProtocol
 from repro.protocols.tcp.connection import (
     MAX_RETRANSMITS,
+    MAX_WINDOW_PROBES,
     TCPConnection,
     TCPState,
     TIME_WAIT_NS,
@@ -448,6 +449,7 @@ class TCPProtocol:
     def _process_ack(self, conn: TCPConnection, header: TCPHeader) -> Generator:
         ack = header.ack
         conn.snd_wnd = header.window
+        conn.window_probes = 0  # any ACK proves the peer is alive
         if conn.snd_wnd > 0:
             self._zero_window_probes.pop(conn.conn_id, None)
         if not seq_gt(ack, conn.snd_una):
@@ -629,9 +631,26 @@ class TCPProtocol:
         )
 
     def _window_probe(self, conn: TCPConnection) -> Generator:
-        """Persist timer: poke a zero-window peer with one byte."""
+        """Persist timer: poke a zero-window peer with one byte.
+
+        Two escape hatches keep this from probing a dead peer forever:
+        with nothing left to push the probe cycle simply stops (sending
+        re-arms it), and after ``MAX_WINDOW_PROBES`` consecutive probes
+        without hearing *any* ACK back the connection is aborted.
+        """
         if conn.snd_wnd > 0 or conn.conn_id not in self._zero_window_probes:
             self._zero_window_probes.pop(conn.conn_id, None)
+            conn.window_probes = 0
+            return
+        if not conn.send_buffer and not conn.unacked and not conn.fin_pending:
+            # Nothing to push and nothing outstanding: probing serves no
+            # purpose; stop instead of pinging a possibly-dead peer forever.
+            del self._zero_window_probes[conn.conn_id]
+            conn.window_probes = 0
+            return
+        conn.window_probes += 1
+        if conn.window_probes > MAX_WINDOW_PROBES:
+            self._abort(conn, "zero-window probe limit reached")
             return
         self._zero_window_probes[conn.conn_id] = (
             self.runtime.sim.now + conn.rto_ns

@@ -40,6 +40,9 @@ class Runtime:
         #: Optional repro.analysis.sanitizers.Sanitizer threaded through the
         #: whole runtime (heap, locks, mailboxes, memory accesses).
         self.sanitizer = sanitizer
+        #: Optional repro.faults.injector.Injector consulted (behind single
+        #: if-guards) by the datalink receive path and mailbox queueing.
+        self.fault_injector = None
         self.ops = ThreadOps(cab.cpu, cab.costs)
         self.heap = BufferHeap(
             base=CONTROL_RESERVE_BYTES,

@@ -330,6 +330,16 @@ class Mailbox:
     def _queue_message(self, msg: Message) -> None:
         if msg.state not in (WRITING, READING):
             raise MailboxError(f"queueing message in state {msg.state}")
+        injector = self.runtime.fault_injector
+        if injector is not None and injector.mailbox_lose(
+            self.runtime.name, self.name, msg
+        ):
+            # Injected host-CAB interface loss: the message vanishes while
+            # being queued.  Its storage is released so the fault degrades
+            # into packet loss that reliable transports recover from.
+            self.stats.add("fault_lost_messages")
+            self._release_storage(msg)
+            return
         msg.state = QUEUED
         self.queue.append(msg)
         self.stats.add("messages_queued")

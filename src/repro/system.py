@@ -107,6 +107,8 @@ class NectarSystem:
         self.registry = NodeRegistry(self.network)
         self.nodes: Dict[str, NectarNode] = {}
         self.hubs: Dict[str, Hub] = {}
+        #: Optional repro.faults.injector.Injector, set by attach_fault_plan.
+        self.faults = None
 
     def add_hub(self, name: str, ports: int = 16) -> Hub:
         """Create a HUB crossbar on the fabric."""
@@ -144,7 +146,23 @@ class NectarSystem:
             tcp_congestion_control=tcp_congestion_control,
         )
         self.nodes[name] = node
+        if self.faults is not None:
+            node.runtime.fault_injector = self.faults
         return node
+
+    def attach_fault_plan(self, plan):
+        """Install a :class:`~repro.faults.plan.FaultPlan` on this system.
+
+        Creates an :class:`~repro.faults.injector.Injector`, wires it into
+        the fabric, every node's runtime, and the matching FIFOs, and
+        returns it.  Nodes added later are wired by :meth:`add_node`.
+        """
+        from repro.faults.injector import Injector
+
+        injector = Injector(plan)
+        injector.install(self)
+        self.faults = injector
+        return injector
 
     # -- running ------------------------------------------------------------------
 

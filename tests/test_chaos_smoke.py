@@ -1,0 +1,60 @@
+"""CI gate: the chaos CLI works end to end and the tree stays lint-clean.
+
+``python -m repro chaos --smoke`` must exit 0 (invariants held and the
+run was deterministic), two identical invocations must print byte-identical
+reports, and the fault-injection code itself must pass nectarlint.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis import nectarlint
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def run_chaos(*args):
+    """Invoke ``python -m repro chaos`` in a subprocess; return the result."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "chaos", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+def test_chaos_smoke_passes():
+    result = run_chaos("--smoke")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "verdict: PASS" in result.stdout
+    assert "invariant exactly-once in-order bit-exact delivery: OK" in result.stdout
+    assert "invariant determinism (two identical runs): OK" in result.stdout
+
+
+def test_chaos_reports_are_byte_identical_across_invocations():
+    first = run_chaos("--smoke", "--scenario", "lossy-link", "--seed", "7")
+    second = run_chaos("--smoke", "--scenario", "lossy-link", "--seed", "7")
+    assert first.returncode == 0, first.stdout + first.stderr
+    assert first.stdout == second.stdout
+
+
+def test_chaos_list_names_every_scenario():
+    result = run_chaos("--list")
+    assert result.returncode == 0
+    for name in ("lossy-link", "bursty-corruption", "flapping-cab", "overloaded-fifo"):
+        assert name in result.stdout
+
+
+def test_chaos_rejects_unknown_scenario():
+    result = run_chaos("--scenario", "meteor-strike")
+    assert result.returncode == 2
+    assert "unknown scenario" in result.stderr
+
+
+def test_faults_package_is_lint_clean():
+    findings = nectarlint.lint_paths([str(SRC / "repro" / "faults")])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"nectarlint findings in repro.faults:\n{rendered}"
