@@ -4,12 +4,15 @@ Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
         python -m repro  lint [paths...] [--strict] [--format json]
         python -m repro  analyze [--rounds N]
         python -m repro  chaos [--scenario NAME] [--seed N] [--smoke] [--list]
+        python -m repro  observe [--workload NAME] [--trace FILE] [--metrics FILE]
 
 ``lint`` runs nectarlint, the static determinism/sim-safety checker
 (see :mod:`repro.analysis.nectarlint`); ``analyze`` runs the dynamic
 sanitizer + determinism harness (see :mod:`repro.analysis.driver`);
 ``chaos`` runs a fault-injection campaign against the reliable transports
-(see :mod:`repro.faults.campaign`).
+(see :mod:`repro.faults.campaign`); ``observe`` runs a workload with the
+telemetry plane on and exports Perfetto traces, metrics, and cycle
+profiles (see :mod:`repro.telemetry.observe`).
 """
 
 from __future__ import annotations
@@ -41,6 +44,10 @@ def main(argv: list[str]) -> int:
         from repro.faults import campaign
 
         return campaign.main(argv[1:])
+    if argv and argv[0] == "observe":
+        from repro.telemetry import observe
+
+        return observe.main(argv[1:])
     targets = argv or ["all"]
     names = list(_EXPERIMENTS) if targets == ["all"] else targets
     for name in names:

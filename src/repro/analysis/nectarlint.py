@@ -10,9 +10,10 @@ Scope notes
   tree — nothing in the simulation may consult the host environment.
 * ND004 (set iteration), ND005 (float ns arithmetic) and NS103 (constant
   yields) apply only inside *simulation-sensitive* packages — path
-  components named ``sim``, ``runtime``, ``cab``, ``protocols``, ``hw`` or
-  ``model`` — where ordering and integer time are load-bearing.  Bench and
-  app drivers may freely iterate sets for reporting.
+  components named ``sim``, ``runtime``, ``cab``, ``protocols``, ``hw``,
+  ``model`` or ``telemetry`` — where ordering and integer time are
+  load-bearing (telemetry export must be byte-stable).  Bench and app
+  drivers may freely iterate sets for reporting.
 * NS101/NS102 (generator misuse) apply everywhere: the thread-context API
   is the same in apps as in the runtime.
 
@@ -38,7 +39,7 @@ __all__ = ["lint_paths", "lint_source", "main"]
 
 #: Path components marking simulation-sensitive code (ordering and integer
 #: nanoseconds are correctness-critical there).
-SENSITIVE_PARTS = ("sim", "runtime", "cab", "protocols", "hw", "model")
+SENSITIVE_PARTS = ("sim", "runtime", "cab", "protocols", "hw", "model", "telemetry")
 
 #: Wall-clock callables (matched against the trailing two dotted components).
 _WALL_CLOCKS = {

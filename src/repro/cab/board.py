@@ -48,6 +48,12 @@ class CAB:
         self.costs = costs
         self.name = name
         self.stats = StatsRegistry()
+        #: Optional repro.sim.trace.Tracer for DMA spans (wired by Runtime);
+        #: one attribute test per frame when detached.
+        self.tracer = None
+        #: Optional repro.telemetry.profiler.CycleProfiler for DMA engine
+        #: time; one attribute test per frame when detached.
+        self.profiler = None
 
         self.cpu = CPU(
             sim,
@@ -96,10 +102,20 @@ class CAB:
         dma_ns = self.costs.cab_dma_ns_per_byte
         while True:
             frame: Frame = yield self._tx_queue.get()
+            if self.tracer is not None:
+                self.tracer.begin(
+                    "dma", "tx-frame", {"bytes": frame.size}, track=f"{self.name}.dma-tx"
+                )
             for chunk in frame.chunks():
                 yield fifo.wait_space(chunk.length)
                 yield self.sim.timeout(chunk.length * dma_ns)
                 fifo.push(chunk)
+            if self.tracer is not None:
+                self.tracer.end("dma", "tx-frame", track=f"{self.name}.dma-tx")
+            if self.profiler is not None:
+                self.profiler.account(
+                    f"{self.name}.dma", "dma", "tx", frame.size * dma_ns
+                )
             if frame.on_dma_done is not None:
                 self.cpu.post_interrupt(
                     self._tx_done_irq(frame), name="tx-complete"
@@ -185,6 +201,10 @@ class CAB:
         dma_ns = self.costs.cab_dma_ns_per_byte
         consumed = 0
         header_posted = header_bytes <= 0
+        if self.tracer is not None:
+            self.tracer.begin(
+                "dma", "rx-frame", {"bytes": frame.size}, track=f"{self.name}.dma-rx"
+            )
         while True:
             yield fifo.wait_data()
             chunk = fifo.pop()
@@ -202,6 +222,10 @@ class CAB:
                     self.cpu.post_interrupt(on_header(frame), name="start-of-data")
             if chunk.is_last:
                 break
+        if self.tracer is not None:
+            self.tracer.end("dma", "rx-frame", track=f"{self.name}.dma-rx")
+        if self.profiler is not None:
+            self.profiler.account(f"{self.name}.dma", "dma", "rx", consumed * dma_ns)
         crc_ok = frame.crc_ok()
         if not crc_ok:
             self.stats.add("crc_errors")

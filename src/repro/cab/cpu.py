@@ -195,6 +195,12 @@ class CPU:
         #: Optional repro.analysis.sanitizers.Sanitizer; one attribute test
         #: on the hot path when detached.
         self.sanitizer = None
+        #: Optional repro.sim.trace.Tracer for kernel spans (interrupt
+        #: service, context switches); one attribute test when detached.
+        self.tracer = None
+        #: Optional repro.telemetry.profiler.CycleProfiler attributing every
+        #: busy nanosecond; one attribute test when detached.
+        self.profiler = None
         self._active_handler: Optional[str] = None
         self._ready: list[tuple[int, int, TCB]] = []  # (-priority, seq, tcb)
         self._seq = 0
@@ -340,7 +346,14 @@ class CPU:
     def _service_one_irq(self) -> Generator:
         name, handler = self._pending_irqs.popleft()
         self.stats.add("interrupts_serviced")
+        track = f"{self.name}/irq:{name}"
+        if self.tracer is not None:
+            self.tracer.begin("kernel", f"irq:{name}", track=track)
         yield from self._charge(self.interrupt_entry_ns)
+        if self.profiler is not None:
+            self.profiler.account(
+                self.name, "irq-overhead", "entry", self.interrupt_entry_ns
+            )
         self._active_handler = name
         try:
             if hasattr(handler, "send"):
@@ -350,6 +363,12 @@ class CPU:
         finally:
             self._active_handler = None
         yield from self._charge(self.interrupt_exit_ns)
+        if self.profiler is not None:
+            self.profiler.account(
+                self.name, "irq-overhead", "exit", self.interrupt_exit_ns
+            )
+        if self.tracer is not None:
+            self.tracer.end("kernel", f"irq:{name}", track=track)
 
     def _run_handler(self, name: str, gen: Generator) -> Generator:
         """Run an interrupt handler generator to completion, masked."""
@@ -362,6 +381,8 @@ class CPU:
             value = None
             if isinstance(op, Compute):
                 yield from self._charge(op.ns)
+                if self.profiler is not None:
+                    self.profiler.account(self.name, "irq", name, op.ns)
             else:
                 gen.close()
                 raise CABError(
@@ -372,7 +393,19 @@ class CPU:
 
     def _run_thread(self, tcb: TCB) -> Generator:
         if self._last_ran is not tcb:
-            yield from self._charge(self.dispatch_ns + self.context_switch_ns)
+            switch_ns = self.dispatch_ns + self.context_switch_ns
+            if self.tracer is not None:
+                self.tracer.begin(
+                    "kernel",
+                    "context-switch",
+                    {"to": tcb.name},
+                    track=f"{self.name}/sched",
+                )
+            yield from self._charge(switch_ns)
+            if self.tracer is not None:
+                self.tracer.end("kernel", "context-switch", track=f"{self.name}/sched")
+            if self.profiler is not None:
+                self.profiler.account(self.name, "sched", "context-switch", switch_ns)
             self.stats.add("context_switches")
             self._last_ran = tcb
         tcb.state = _RUNNING
@@ -478,6 +511,8 @@ class CPU:
             if self._mask_depth > 0:
                 # Masked: interrupts cannot slice the burst.
                 yield from self._charge(remaining)
+                if self.profiler is not None:
+                    self.profiler.account(self.name, "thread", tcb.name, remaining)
                 tcb.pending_compute_ns = 0
                 break
             self._irq_arrival = self.sim.event(name=f"{self.name}.irq_arrival")
@@ -487,6 +522,8 @@ class CPU:
             self._irq_arrival = None
             elapsed = self.sim.now - start
             self.busy_ns += elapsed
+            if self.profiler is not None:
+                self.profiler.account(self.name, "thread", tcb.name, elapsed)
             tcb.pending_compute_ns = max(0, remaining - elapsed)
             if winner_index == 0:
                 tcb.pending_compute_ns = 0

@@ -32,7 +32,12 @@ from repro.sim.core import SimulationError
 from repro.faults.scenarios import SCENARIOS, build
 from repro.protocols.headers import NectarTransportHeader
 from repro.system import NectarSystem
+from repro.telemetry.metrics import Histogram
 from repro.units import ms, seconds
+
+#: Fault fire-time histogram buckets (upper bounds, ns) and their labels.
+_FIRE_BUCKETS = (ms(1), ms(10), ms(100), seconds(1), seconds(10))
+_FIRE_LABELS = ("1ms", "10ms", "100ms", "1s", "10s")
 
 __all__ = ["CampaignReport", "WorkloadOutcome", "main", "run_campaign"]
 
@@ -340,6 +345,33 @@ class CampaignReport:
             if name.startswith("fault.")
         )
         lines.append(f"faults fired: {fault_totals or '(none)'}")
+        lines.append("telemetry:")
+        lines.append(
+            "  retransmits: "
+            f"rmp={self._counter('cab-a.rmp_retransmits', 'cab-b.rmp_retransmits')}"
+            f" rpc={self._counter('cab-a.rpc_retries', 'cab-b.rpc_retries')}"
+            f" tcp={self._counter('cab-a.tcp_retransmits', 'cab-b.tcp_retransmits')}"
+        )
+        injected = self._counter(
+            "fault.fault_drop", "fault.fault_rx-drop", "fault.fault_mbox-lose"
+        )
+        observed = self._counter(
+            "net.frames_dropped",
+            "cab-a.hw.dl_fault_drops",
+            "cab-b.hw.dl_fault_drops",
+            "cab-a.fault_lost_messages",
+            "cab-b.fault_lost_messages",
+        )
+        lines.append(f"  drops: injected={injected} observed={observed}")
+        hist = Histogram("fault.fire_time_ns", buckets=_FIRE_BUCKETS)
+        for time_ns, _kind, _site in run.fired:
+            hist.observe(time_ns)
+        buckets = " ".join(
+            f"le_{label}={count}" for label, count in zip(_FIRE_LABELS, hist.counts)
+        )
+        lines.append(
+            f"  fire times: {buckets} overflow={hist.overflow} count={hist.count}"
+        )
         lines.append("fault specs:")
         lines.append(run.fires_text)
         lines.append(

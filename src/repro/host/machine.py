@@ -58,6 +58,7 @@ class HostedNode:
         self.node = node
         self.host = Host(system.sim, system.costs, host_name or f"host-{node.name}")
         self.vme = VMEBus(system.sim, system.costs, name=f"vme-{node.name}")
+        self.vme.tracer = system.tracer
         self.driver = CABDriver(self.host, node, self.vme)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -112,6 +112,9 @@ class NectarNetwork:
         #: source *and* destination CAB names per frame (drop/corrupt/crash)
         #: plus a per-frame stall delay.  Installed by NectarSystem.
         self.fault_hooks = None
+        #: Optional repro.sim.trace.Tracer for per-link transfer spans
+        #: (wired by NectarSystem); one attribute test per frame when off.
+        self.tracer = None
         self._route_cache: Dict[tuple[str, str], tuple[int, ...]] = {}
 
     # -- construction -----------------------------------------------------------
@@ -197,9 +200,21 @@ class NectarNetwork:
                     self.stats.add("frames_stalled")
                     yield self.sim.timeout(stall_ns)
 
+            tracer = self.tracer
+            track = f"link:{node.name}" if tracer is not None and tracer.sink is not None else None
+            if track is not None:
+                tracer.begin(
+                    "hub",
+                    "transfer",
+                    {"bytes": frame.size, "src": node.name},
+                    track=track,
+                )
+
             if frame.drop:
                 yield from self._consume_frame(fifo, chunk)
                 self.stats.add("frames_dropped")
+                if track is not None:
+                    tracer.end("hub", "transfer", track=track)
                 continue
 
             circuit = frame.circuit
@@ -220,6 +235,8 @@ class NectarNetwork:
                         hub.release_output(port)
             self.stats.add("frames_delivered")
             self.stats.add("bytes_delivered", frame.size)
+            if track is not None:
+                tracer.end("hub", "transfer", track=track)
 
     def _frame_dest(self, node: NetworkNode, frame: Frame) -> str:
         """The destination CAB name of a frame (for fault-hook matching)."""

@@ -61,6 +61,9 @@ class ByteFIFO:
         self._data_waiters: Deque[Event] = deque()
         self.total_in = 0
         self.total_out = 0
+        #: Optional repro.sim.trace.Tracer sampling the fill level as a
+        #: counter track; one attribute test per push/pop when detached.
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._chunks)
@@ -108,6 +111,8 @@ class ByteFIFO:
         self._chunks.append(chunk)
         self.level += chunk.length
         self.total_in += chunk.length
+        if self.tracer is not None:
+            self.tracer.counter("fifo", "level", self.level, track=self.name)
         while self._data_waiters:
             self._data_waiters.popleft().succeed()
 
@@ -129,6 +134,8 @@ class ByteFIFO:
         chunk = self._chunks.popleft()
         self.level -= chunk.length
         self.total_out += chunk.length
+        if self.tracer is not None:
+            self.tracer.counter("fifo", "level", self.level, track=self.name)
         self._grant_space()
         return chunk
 
@@ -144,6 +151,8 @@ class ByteFIFO:
         self._chunks.clear()
         self.level = 0
         self.total_out += sum(chunk.length for chunk in chunks)
+        if self.tracer is not None:
+            self.tracer.counter("fifo", "level", self.level, track=self.name)
         self._grant_space()
         return chunks
 

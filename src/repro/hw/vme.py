@@ -29,6 +29,9 @@ class VMEBus:
         self.name = name
         self._bus = Resource(sim, slots=1, name=f"{name}.bus")
         self.stats = StatsRegistry()
+        #: Optional repro.sim.trace.Tracer for bus-occupancy spans (wired by
+        #: HostedNode); one attribute test per transfer when detached.
+        self.tracer = None
 
     # -- transfers -----------------------------------------------------------
 
@@ -42,11 +45,17 @@ class VMEBus:
         if nbytes < 0:
             raise ValueError(f"negative PIO size {nbytes}")
         yield self._bus.acquire()
+        # The span opens only once the bus is held, so concurrent transfer
+        # attempts serialize and the spans on this track nest correctly.
+        if self.tracer is not None:
+            self.tracer.begin("vme", "pio", {"bytes": nbytes}, track=self.name)
         try:
             yield self.sim.timeout(self.costs.vme_pio_ns(nbytes))
             self.stats.add("pio_bytes", nbytes)
             self.stats.add("pio_transfers")
         finally:
+            if self.tracer is not None:
+                self.tracer.end("vme", "pio", track=self.name)
             self._bus.release()
 
     def dma(self, nbytes: int) -> Generator:
@@ -54,11 +63,15 @@ class VMEBus:
         if nbytes < 0:
             raise ValueError(f"negative DMA size {nbytes}")
         yield self._bus.acquire()
+        if self.tracer is not None:
+            self.tracer.begin("vme", "dma", {"bytes": nbytes}, track=self.name)
         try:
             yield self.sim.timeout(self.costs.vme_dma_ns(nbytes))
             self.stats.add("dma_bytes", nbytes)
             self.stats.add("dma_transfers")
         finally:
+            if self.tracer is not None:
+                self.tracer.end("vme", "dma", track=self.name)
             self._bus.release()
 
     def transfer(self, nbytes: int) -> Generator:

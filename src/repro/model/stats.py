@@ -126,6 +126,10 @@ class ThroughputMeter:
 
     @property
     def mbps(self) -> float:
+        if self.elapsed_ns == 0:
+            # All bytes landed at one instant (e.g. a single account() call):
+            # there is no interval to divide by, so report zero throughput.
+            return 0.0
         return throughput_mbps(self.bytes_moved, self.elapsed_ns)
 
 

@@ -89,6 +89,11 @@ class Datalink:
 
     # ------------------------------------------------------------------ send
 
+    def _span_track(self) -> str:
+        """Trace track for the current execution context (thread or irq)."""
+        label = self.runtime.cpu.context_label
+        return label if label is not None else f"{self.runtime.cpu.name}/ext"
+
     def send_message(
         self,
         dst_node: int,
@@ -102,29 +107,49 @@ class Datalink:
         TX-complete interrupt once the DMA has drained it (the caller must
         not touch the message again).
         """
-        yield Compute(self.costs.dl_send_ns)
-        header = DatalinkHeader(
-            dl_type=dl_type,
-            length=msg.size,
-            src_node=self.node_id,
-            dst_node=dst_node,
-        )
-        payload = bytearray(header.pack())
-        payload.extend(msg.read())
-        frame = Frame(
-            route=self.registry.route_to(self.cab.name, dst_node),
-            payload=payload,
-            src=self.cab.name,
-        )
-        if free_after:
-            mailbox = msg.mailbox
+        tracer = self.runtime.tracer
+        track = self._span_track() if tracer.sink is not None else None
+        if track is not None:
+            tracer.begin(
+                "datalink",
+                "send",
+                {"dst": dst_node, "bytes": msg.size},
+                track=track,
+            )
+        try:
+            yield Compute(self.costs.dl_send_ns)
+            header = DatalinkHeader(
+                dl_type=dl_type,
+                length=msg.size,
+                src_node=self.node_id,
+                dst_node=dst_node,
+            )
+            payload = bytearray(header.pack())
+            payload.extend(msg.read())
+            frame = Frame(
+                route=self.registry.route_to(self.cab.name, dst_node),
+                payload=payload,
+                src=self.cab.name,
+            )
+            if track is not None:
+                # Async span spanning the frame's life on the wire; the
+                # receiver's end-of-packet upcall (or nobody, for drops)
+                # closes it.
+                tracer.async_begin(
+                    "datalink", "frame", frame.seqno, {"bytes": frame.size}
+                )
+            if free_after:
+                mailbox = msg.mailbox
 
-            def release(_frame: Frame) -> None:
-                mailbox._release_storage(msg)
-                self.runtime.wake_heap_waiters()
+                def release(_frame: Frame) -> None:
+                    mailbox._release_storage(msg)
+                    self.runtime.wake_heap_waiters()
 
-            frame.on_dma_done = release
-        yield from self.cab.send_frame(frame)
+                frame.on_dma_done = release
+            yield from self.cab.send_frame(frame)
+        finally:
+            if track is not None:
+                tracer.end("datalink", "send", track=track)
 
     def send_raw(self, dst_node: int, dl_type: int, packet: bytes) -> Generator:
         """Thread/interrupt-context: frame raw bytes (control packets, ACKs).
@@ -146,6 +171,9 @@ class Datalink:
             payload=payload,
             src=self.cab.name,
         )
+        tracer = self.runtime.tracer
+        if tracer.sink is not None:
+            tracer.async_begin("datalink", "frame", frame.seqno, {"bytes": frame.size})
         yield from self.cab.send_frame(frame)
 
     # ------------------------------------------------------------------ receive
@@ -198,6 +226,13 @@ class Datalink:
     def _make_completion(self, binding: ProtocolBinding, msg: Message, header: DatalinkHeader):
         def complete(_frame: Frame, crc_ok: bool) -> Generator:
             yield Compute(self.costs.dl_eop_handler_ns)
+            tracer = self.runtime.tracer
+            if tracer.sink is not None:
+                # Close the sender-side async span; frames dropped en route
+                # simply leave theirs open (visible as unfinished spans).
+                tracer.async_end(
+                    "datalink", "frame", _frame.seqno, {"crc_ok": crc_ok}
+                )
             if not crc_ok:
                 self.stats.add("dl_crc_drops")
                 yield from binding.input_mailbox.iabort_put(msg)

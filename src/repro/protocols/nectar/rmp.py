@@ -114,6 +114,24 @@ class RMPProtocol:
         throughput benchmarks transmit from a resident buffer, as the
         paper's measurements did).
         """
+        tracer = self.runtime.tracer
+        track = None
+        if tracer.sink is not None:
+            label = self.runtime.cpu.context_label
+            track = label if label is not None else f"{self.runtime.cpu.name}/ext"
+            tracer.begin("rmp", "send", {"port": channel.local_port}, track=track)
+        try:
+            yield from self._send_locked(channel, data, charge_copy)
+        finally:
+            if track is not None:
+                tracer.end("rmp", "send", track=track)
+
+    def _send_locked(
+        self,
+        channel: RMPChannel,
+        data: Union[bytes, Message],
+        charge_copy: bool,
+    ) -> Generator:
         ops = self.runtime.ops
         yield from ops.lock(channel.send_mutex)
         yield Compute(self.costs.nectar_rmp_ns)
@@ -149,6 +167,9 @@ class RMPProtocol:
             self.stats.add("rmp_data_out")
             if tries > 1:
                 self.stats.add("rmp_retransmits")
+                tracer = self.runtime.tracer
+                if tracer.sink is not None:
+                    tracer.emit("rmp", "retransmit", {"seq": seq, "try": tries})
             acked = yield from self._await_ack(channel, seq)
         yield from ops.unlock(channel.send_mutex)
         if not acked:

@@ -171,32 +171,53 @@ class TCPProtocol:
         the way back to the sender).
         """
         ops = self.runtime.ops
-        yield from ops.lock(self.lock)
-        self._check_sendable(conn)
-        while conn.send_buffer_full:
-            yield from ops.wait(conn.send_space_cond, self.lock)
+        tracer = self.runtime.tracer
+        track = self._span_track() if tracer.sink is not None else None
+        if track is not None:
+            tracer.begin("tcp", "send", {"bytes": len(data)}, track=track)
+        try:
+            yield from ops.lock(self.lock)
             self._check_sendable(conn)
-        yield from ops.unlock(self.lock)
-        request = yield from self.send_request_mailbox.begin_put(
-            struct.calcsize(_SEND_REQUEST_FMT) + len(data)
-        )
-        yield Compute(self.costs.cab_memcpy_ns(len(data)))
-        request.write(0, struct.pack(_SEND_REQUEST_FMT, conn.conn_id, len(data)))
-        request.write(struct.calcsize(_SEND_REQUEST_FMT), data)
-        yield from self.send_request_mailbox.end_put(request)
+            while conn.send_buffer_full:
+                yield from ops.wait(conn.send_space_cond, self.lock)
+                self._check_sendable(conn)
+            yield from ops.unlock(self.lock)
+            request = yield from self.send_request_mailbox.begin_put(
+                struct.calcsize(_SEND_REQUEST_FMT) + len(data)
+            )
+            yield Compute(self.costs.cab_memcpy_ns(len(data)))
+            request.write(0, struct.pack(_SEND_REQUEST_FMT, conn.conn_id, len(data)))
+            request.write(struct.calcsize(_SEND_REQUEST_FMT), data)
+            yield from self.send_request_mailbox.end_put(request)
+        finally:
+            if track is not None:
+                tracer.end("tcp", "send", track=track)
 
     def send_direct(self, conn: TCPConnection, data: bytes) -> Generator:
         """CAB-resident fast path: append to the send queue and run output
         directly, without involving the send thread (paper Sec. 4.2)."""
         ops = self.runtime.ops
-        yield from ops.lock(self.lock)
-        self._check_sendable(conn)
-        while conn.send_buffer_full:
-            yield from ops.wait(conn.send_space_cond, self.lock)
+        tracer = self.runtime.tracer
+        track = self._span_track() if tracer.sink is not None else None
+        if track is not None:
+            tracer.begin("tcp", "send", {"bytes": len(data)}, track=track)
+        try:
+            yield from ops.lock(self.lock)
             self._check_sendable(conn)
-        conn.send_buffer.extend(data)
-        yield from self._output(conn)
-        yield from ops.unlock(self.lock)
+            while conn.send_buffer_full:
+                yield from ops.wait(conn.send_space_cond, self.lock)
+                self._check_sendable(conn)
+            conn.send_buffer.extend(data)
+            yield from self._output(conn)
+            yield from ops.unlock(self.lock)
+        finally:
+            if track is not None:
+                tracer.end("tcp", "send", track=track)
+
+    def _span_track(self) -> str:
+        """Trace track for the current execution context (thread or irq)."""
+        label = self.runtime.cpu.context_label
+        return label if label is not None else f"{self.runtime.cpu.name}/ext"
 
     def close(self, conn: TCPConnection) -> Generator:
         """Begin an orderly close; returns once the FIN is queued."""
@@ -626,6 +647,9 @@ class TCPProtocol:
         conn.backoff_rto()
         conn.rto_deadline_ns = self.runtime.sim.now + conn.rto_ns
         self.stats.add("tcp_retransmits")
+        tracer = self.runtime.tracer
+        if tracer.sink is not None:
+            tracer.emit("tcp", "retransmit", {"seq": segment.seq})
         yield from self._send_segment(
             conn, segment.seq, segment.data, segment.flags, track=False
         )

@@ -42,6 +42,9 @@ class BufferHeap:
         #: Name of the MemoryRegion this heap carves up (set by the wiring
         #: in Runtime so sanitizers can attribute accesses to heap blocks).
         self.region_name: Optional[str] = None
+        #: Optional repro.sim.trace.Tracer sampling bytes-in-use as a counter
+        #: track; one attribute test per alloc/free when detached.
+        self.tracer = None
         # Address-ordered list of (addr, size) free blocks.
         self._free: list[tuple[int, int]] = [(base, size)]
         self._allocated: Dict[int, int] = {}
@@ -93,6 +96,10 @@ class BufferHeap:
                     self.sanitizer.on_heap_alloc(
                         self, addr, needed, region_name=self.region_name
                     )
+                if self.tracer is not None:
+                    self.tracer.counter(
+                        "heap", "bytes_in_use", self.allocated_bytes, track=self.name
+                    )
                 return addr
         return None
 
@@ -116,6 +123,10 @@ class BufferHeap:
         size = self._allocated.pop(addr)
         if self.sanitizer is not None:
             self.sanitizer.on_heap_free(self, addr, size)
+        if self.tracer is not None:
+            self.tracer.counter(
+                "heap", "bytes_in_use", self.allocated_bytes, track=self.name
+            )
         # Insert in address order.
         lo, hi = 0, len(self._free)
         while lo < hi:

@@ -57,6 +57,13 @@ class Runtime:
         self.mailboxes: Dict[str, Mailbox] = {}
         self.tracer = tracer if tracer is not None else Tracer(lambda: cab.sim.now)
         self.stats = StatsRegistry()
+        # Hand the (possibly sink-less) tracer to every instrumented layer of
+        # this CAB: attaching one sink then observes the whole board.
+        self.cpu.tracer = self.tracer
+        cab.tracer = self.tracer
+        self.heap.tracer = self.tracer
+        cab.fiber_in.fifo.tracer = self.tracer
+        cab.fiber_out.fifo.tracer = self.tracer
 
     def _attach_sanitizer(self, sanitizer) -> None:
         """Wire the sanitizer into every instrumented layer of this CAB."""

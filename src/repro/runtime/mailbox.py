@@ -151,15 +151,28 @@ class Mailbox:
 
     def begin_put(self, size: int) -> Generator:
         """Thread-context: allocate a data area; blocks until space exists."""
-        yield Compute(self.costs.rt_begin_put_ns)
-        while True:
-            msg = self._try_alloc_message(size)
-            if msg is not None:
-                yield Compute(self._alloc_cost(msg))
-                return msg
-            token = WaitToken(name=f"heap:{self.name}")
-            self.runtime.heap_waiters.append(token)
-            yield Block(token)
+        tracer = self.runtime.tracer
+        track = self._span_track() if tracer.sink is not None else None
+        if track is not None:
+            tracer.begin(
+                "mailbox",
+                "begin_put",
+                {"mailbox": self.name, "bytes": size},
+                track=track,
+            )
+        try:
+            yield Compute(self.costs.rt_begin_put_ns)
+            while True:
+                msg = self._try_alloc_message(size)
+                if msg is not None:
+                    yield Compute(self._alloc_cost(msg))
+                    return msg
+                token = WaitToken(name=f"heap:{self.name}")
+                self.runtime.heap_waiters.append(token)
+                yield Block(token)
+        finally:
+            if track is not None:
+                tracer.end("mailbox", "begin_put", track=track)
 
     def ibegin_put(self, size: int) -> Generator:
         """Interrupt-context: allocate or return None (never blocks)."""
@@ -171,11 +184,19 @@ class Mailbox:
 
     def end_put(self, msg: Message) -> Generator:
         """Make a written message available to readers; fire the upcall."""
-        yield Compute(self.costs.rt_end_put_ns)
-        self._queue_message(msg)
-        if self.reader_upcall is not None:
-            yield Compute(self.costs.rt_upcall_ns)
-            yield from self.reader_upcall(self)
+        tracer = self.runtime.tracer
+        track = self._span_track() if tracer.sink is not None else None
+        if track is not None:
+            tracer.begin("mailbox", "end_put", {"mailbox": self.name}, track=track)
+        try:
+            yield Compute(self.costs.rt_end_put_ns)
+            self._queue_message(msg)
+            if self.reader_upcall is not None:
+                yield Compute(self.costs.rt_upcall_ns)
+                yield from self.reader_upcall(self)
+        finally:
+            if track is not None:
+                tracer.end("mailbox", "end_put", track=track)
 
     # The interrupt-context version is identical in structure: the upcall runs
     # at interrupt time, which is exactly the paper's IP-input design.
@@ -195,12 +216,20 @@ class Mailbox:
 
     def begin_get(self) -> Generator:
         """Thread-context: return the next message; blocks while empty."""
-        yield Compute(self.costs.rt_begin_get_ns)
-        while not self.queue:
-            token = WaitToken(name=f"get:{self.name}")
-            self._get_waiters.append(token)
-            yield Block(token)
-        return self._take_message()
+        tracer = self.runtime.tracer
+        track = self._span_track() if tracer.sink is not None else None
+        if track is not None:
+            tracer.begin("mailbox", "begin_get", {"mailbox": self.name}, track=track)
+        try:
+            yield Compute(self.costs.rt_begin_get_ns)
+            while not self.queue:
+                token = WaitToken(name=f"get:{self.name}")
+                self._get_waiters.append(token)
+                yield Block(token)
+            return self._take_message()
+        finally:
+            if track is not None:
+                tracer.end("mailbox", "begin_get", track=track)
 
     def ibegin_get(self) -> Generator:
         """Interrupt-context: next message or None (never blocks)."""
@@ -291,6 +320,15 @@ class Mailbox:
         return bool(self.runtime.heap_waiters)
 
     # ------------------------------------------------------------------ internal
+
+    def _span_track(self) -> str:
+        """The trace track for a span opened in the current context.
+
+        Captured once at span begin and reused at span end, so a span stays
+        on one track even if the CPU's notion of context shifts meanwhile.
+        """
+        label = self.cpu.context_label
+        return label if label is not None else f"{self.cpu.name}/ext"
 
     def _try_alloc_message(self, size: int) -> Optional[Message]:
         if size <= 0:

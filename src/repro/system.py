@@ -104,11 +104,14 @@ class NectarSystem:
             sanitizer.bind_clock(lambda: self.sim.now)
         self.tracer = Tracer(lambda: self.sim.now)
         self.network = NectarNetwork(self.sim, self.costs)
+        self.network.tracer = self.tracer
         self.registry = NodeRegistry(self.network)
         self.nodes: Dict[str, NectarNode] = {}
         self.hubs: Dict[str, Hub] = {}
         #: Optional repro.faults.injector.Injector, set by attach_fault_plan.
         self.faults = None
+        #: Optional repro.telemetry.session.Telemetry, set by enable_telemetry.
+        self.telemetry = None
 
     def add_hub(self, name: str, ports: int = 16) -> Hub:
         """Create a HUB crossbar on the fabric."""
@@ -148,6 +151,8 @@ class NectarSystem:
         self.nodes[name] = node
         if self.faults is not None:
             node.runtime.fault_injector = self.faults
+        if self.telemetry is not None:
+            self.telemetry.attach_node(node)
         return node
 
     def attach_fault_plan(self, plan):
@@ -163,6 +168,21 @@ class NectarSystem:
         injector.install(self)
         self.faults = injector
         return injector
+
+    def enable_telemetry(self):
+        """Attach a :class:`~repro.telemetry.session.Telemetry` session.
+
+        Installs a trace recorder as the shared tracer's sink and a cycle
+        profiler on every node's CPU, and returns the session.  Idempotent:
+        a second call returns the existing session.
+        """
+        from repro.telemetry.session import Telemetry
+
+        if self.telemetry is None:
+            telemetry = Telemetry()
+            telemetry.install(self)
+            self.telemetry = telemetry
+        return self.telemetry
 
     # -- running ------------------------------------------------------------------
 

@@ -1,0 +1,36 @@
+"""repro.telemetry: the simulation-wide observability plane.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* **Spans** — :mod:`repro.sim.trace` emits begin/end/instant/counter events
+  from every hot layer (kernel scheduler, mailboxes, heap, FIFO/DMA/VME,
+  datalink, RMP, TCP, hub crossbar); :mod:`repro.telemetry.perfetto`
+  exports them as a deterministic Chrome trace-event JSON file that loads
+  directly in https://ui.perfetto.dev.
+* **Metrics** — :mod:`repro.telemetry.metrics` is a hierarchical registry
+  of counters, gauges and fixed-bucket histograms with byte-stable JSON and
+  Prometheus-text exposition, harvested from the per-component
+  ``StatsRegistry`` counters plus span durations.
+* **Cycle profiler** — :mod:`repro.telemetry.profiler` attributes simulated
+  CPU cycles per CAB thread / interrupt handler / scheduler overhead and
+  emits folded-stack output for standard flamegraph tooling.
+
+Everything is off by default and costs one attribute check per hook; when
+enabled, instrumentation records *zero* simulated time, so the observed run
+is bit-identical to the unobserved one.
+"""
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.perfetto import export_chrome_trace
+from repro.telemetry.profiler import CycleProfiler
+from repro.telemetry.session import Telemetry
+
+__all__ = [
+    "Counter",
+    "CycleProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "export_chrome_trace",
+]

@@ -1,0 +1,233 @@
+"""The metrics plane: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat map of dotted series names to metric
+objects with hierarchical *scopes* as views (``registry.scope("cab-a")``
+prefixes everything created through it).  All values are simulated
+quantities — counts, simulated nanoseconds, bytes — sampled on simulated
+time, so two runs with the same seed expose byte-identical reports.
+
+Exposition formats:
+
+* :meth:`MetricsRegistry.render_json` — canonical JSON (sorted keys, fixed
+  separators): byte-stable for a deterministic run.
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text format 0.0.4
+  (``repro_``-prefixed, dots mapped to underscores), also byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import NectarError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_NS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default duration buckets (ns): 1 us .. 10 ms, then overflow.  Wide enough
+#: for everything from a mailbox op to a TCP retransmission timeout.
+DEFAULT_NS_BUCKETS = (
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing count of events (or bytes, or cycles)."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise NectarError(f"metric {self.name}: cannot add negative {amount}")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        """The current count."""
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (heap bytes in use, FIFO level)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def add(self, delta: Union[int, float]) -> None:
+        """Move the current value by ``delta`` (may be negative)."""
+        self.value += delta
+
+    def snapshot(self) -> Union[int, float]:
+        """The current value."""
+        return self.value
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative counts, Prometheus-style).
+
+    ``buckets`` are upper bounds in ascending order; an implicit +Inf bucket
+    catches the overflow.  Bounds are fixed at construction so two runs of
+    the same workload produce identical series names.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "counts", "overflow", "total", "count")
+
+    def __init__(self, name: str, buckets: Sequence[int] = DEFAULT_NS_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise NectarError(f"histogram {name}: buckets must be ascending, got {buckets}")
+        self.name = name
+        self.bounds = tuple(buckets)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0
+        self.count = 0
+
+    def observe(self, value: int) -> None:
+        """Record one sample into its bucket (or the overflow bucket)."""
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    def snapshot(self) -> Dict[str, Union[int, List[int]]]:
+        """Bucket bounds/counts, overflow, sum, and sample count."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A hierarchical registry of metrics, hung off :class:`NectarSystem`.
+
+    The registry proper is flat (series name -> metric); :meth:`scope`
+    returns a view that prefixes names, so components can hold a scoped
+    handle without knowing where they sit in the hierarchy.
+    """
+
+    def __init__(self, prefix: str = "", _metrics: Optional[Dict[str, _Metric]] = None):
+        self._prefix = prefix
+        self._metrics: Dict[str, _Metric] = _metrics if _metrics is not None else {}
+
+    # -- structure -----------------------------------------------------------
+
+    def scope(self, name: str) -> "MetricsRegistry":
+        """A child view whose series are prefixed with ``name.``."""
+        if not name:
+            raise NectarError("scope name must be non-empty")
+        prefix = f"{self._prefix}{name}."
+        return MetricsRegistry(prefix=prefix, _metrics=self._metrics)
+
+    def _full(self, name: str) -> str:
+        return f"{self._prefix}{name}"
+
+    def _get(self, name: str, kind: type, **kwargs) -> _Metric:
+        full = self._full(name)
+        metric = self._metrics.get(full)
+        if metric is None:
+            metric = kind(full, **kwargs)
+            self._metrics[full] = metric
+        elif not isinstance(metric, kind):
+            raise NectarError(
+                f"metric {full} already registered as {metric.kind}, "
+                f"not {kind.__name__.lower()}"
+            )
+        return metric
+
+    # -- creation / lookup -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets: Sequence[int] = DEFAULT_NS_BUCKETS) -> Histogram:
+        """The named histogram, created on first use with fixed buckets."""
+        return self._get(name, Histogram, buckets=buckets)
+
+    def series_count(self) -> int:
+        """Number of distinct registered series."""
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        """All registered series names, sorted."""
+        return sorted(self._metrics)
+
+    # -- exposition -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All series as ``name -> {"type", "value"}``, sorted by name."""
+        return {
+            name: {"type": metric.kind, "value": metric.snapshot()}
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def render_json(self) -> str:
+        """Canonical (byte-stable) JSON exposition."""
+        return json.dumps(
+            {"series": self.snapshot()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4 (byte-stable)."""
+        lines: List[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            prom = _prometheus_name(name)
+            if isinstance(metric, Histogram):
+                lines.append(f"# TYPE {prom} histogram")
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.counts):
+                    cumulative += count
+                    lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+                cumulative += metric.overflow
+                lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{prom}_sum {metric.total}")
+                lines.append(f"{prom}_count {metric.count}")
+            else:
+                lines.append(f"# TYPE {prom} {metric.kind}")
+                lines.append(f"{prom} {metric.snapshot()}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _prometheus_name(name: str) -> str:
+    """Map a dotted series name to a legal Prometheus metric name."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return f"repro_{safe}"

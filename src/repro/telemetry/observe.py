@@ -1,0 +1,347 @@
+"""``python -m repro observe``: run a workload under full telemetry.
+
+Builds the paper's two-CAB rig with the telemetry plane enabled, drives a
+named workload, and writes the three observability artifacts:
+
+* ``--trace FILE`` — Chrome trace-event JSON (load in https://ui.perfetto.dev),
+* ``--metrics FILE`` — byte-stable JSON metrics report,
+* ``--prom FILE`` — the same metrics in Prometheus text format,
+* ``--folded FILE`` — folded-stack cycle profile for flamegraph tooling.
+
+Workloads:
+
+* ``table1`` — sequential ping-pongs over the four transports of the
+  paper's Table 1 (datagram, RMP, request-response, UDP) plus a TCP push;
+  touches every instrumented layer from the kernel scheduler to the hub.
+* ``rmp-stream`` — a reliable RMP message stream (the Figure 7 shape).
+* ``chaos`` — the RMP stream over a lossy fabric (the ``lossy-link`` fault
+  scenario), so retransmissions and drops show up in the trace.
+
+Everything printed or written derives from simulated quantities, so two
+invocations with the same workload and seed produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.errors import ProtocolError
+from repro.protocols.headers import NectarTransportHeader
+from repro.system import NectarSystem
+from repro.telemetry.session import Telemetry
+from repro.units import seconds
+
+__all__ = ["ObserveResult", "WORKLOADS", "main", "run_observe"]
+
+#: Simulated-time budget; chaos retransmission backoff dominates the worst case.
+OBSERVE_DEADLINE_NS = seconds(30)
+
+_PAYLOAD_BYTES = 128
+
+
+@dataclass
+class ObserveResult:
+    """Everything one observed run produced."""
+
+    workload: str
+    seed: int
+    system: NectarSystem
+    telemetry: Telemetry
+    summary_lines: List[str]
+
+    def summary(self) -> str:
+        """The human-readable run summary (deterministic text)."""
+        return "\n".join(self.summary_lines) + "\n"
+
+    def trace_json(self) -> str:
+        """The run's Chrome trace-event JSON (byte-stable)."""
+        return self.telemetry.export_trace()
+
+    def metrics_json(self) -> str:
+        """The run's metrics report as canonical JSON (byte-stable)."""
+        return self.telemetry.render_metrics_json()
+
+    def prometheus(self) -> str:
+        """The run's metrics in Prometheus text format (byte-stable)."""
+        return self.telemetry.render_prometheus()
+
+    def folded(self) -> str:
+        """The run's folded-stack cycle profile (byte-stable)."""
+        return self.telemetry.folded_profile()
+
+
+def _build_rig(seed: int, chaos: bool) -> NectarSystem:
+    """The two-CAB rig with telemetry attached before any traffic."""
+    system = NectarSystem()
+    system.enable_telemetry()
+    hub = system.add_hub("hub0")
+    system.add_node("cab-a", hub, 0)
+    system.add_node("cab-b", hub, 1)
+    if chaos:
+        from repro.faults.scenarios import build
+
+        system.attach_fault_plan(build("lossy-link", seed))
+    return system
+
+
+def _workload_table1(system: NectarSystem, rounds: int) -> List[str]:
+    """Sequential ping-pongs over the four Table 1 transports, then TCP."""
+    a = system.nodes["cab-a"]
+    b = system.nodes["cab-b"]
+    payload = b"\xA5" * _PAYLOAD_BYTES
+
+    dg_a = a.runtime.mailbox("obs-dg-a")
+    dg_b = b.runtime.mailbox("obs-dg-b")
+    a.datagram.bind(11, dg_a)
+    b.datagram.bind(12, dg_b)
+
+    rmp_a = a.runtime.mailbox("obs-rmp-a")
+    rmp_b = b.runtime.mailbox("obs-rmp-b")
+    chan_ab = a.rmp.open(21, b.node_id, 22, deliver_mailbox=rmp_a)
+    chan_ba = b.rmp.open(22, a.node_id, 21, deliver_mailbox=rmp_b)
+
+    rpc_server = b.runtime.mailbox("obs-rpc-server")
+    b.rpc.serve(31, rpc_server)
+
+    udp_a = a.runtime.mailbox("obs-udp-a")
+    udp_b = b.runtime.mailbox("obs-udp-b")
+    a.udp.bind(41, udp_a)
+    b.udp.bind(42, udp_b)
+
+    tcp_inbox = b.runtime.mailbox("obs-tcp-srv")
+    b.tcp.listen(7000, lambda conn: tcp_inbox)
+    tcp_bytes = _PAYLOAD_BYTES * 8
+    tcp_received = bytearray()
+
+    rtts: Dict[str, List[int]] = {name: [] for name in ("datagram", "rmp", "reqresp", "udp")}
+
+    def dg_echo() -> Generator:
+        while True:
+            msg = yield from dg_b.begin_get()
+            data = msg.read()
+            yield from dg_b.end_get(msg)
+            yield from b.datagram.send(12, a.node_id, 11, data)
+
+    def rmp_echo() -> Generator:
+        while True:
+            msg = yield from rmp_b.begin_get()
+            data = msg.read()
+            yield from rmp_b.end_get(msg)
+            yield from b.rmp.send(chan_ba, data)
+
+    def rpc_serve() -> Generator:
+        while True:
+            msg = yield from rpc_server.begin_get()
+            header = NectarTransportHeader.unpack(msg.read(0, NectarTransportHeader.SIZE))
+            body = msg.read(NectarTransportHeader.SIZE)
+            yield from rpc_server.end_get(msg)
+            yield from b.rpc.respond(header, body)
+
+    def udp_echo() -> Generator:
+        while True:
+            msg = yield from udp_b.begin_get()
+            data = msg.read()
+            yield from udp_b.end_get(msg)
+            yield from b.udp.send(42, a.ip_address, 41, data)
+
+    def tcp_collect() -> Generator:
+        while len(tcp_received) < tcp_bytes:
+            msg = yield from tcp_inbox.begin_get()
+            tcp_received.extend(msg.read())
+            yield from tcp_inbox.end_get(msg)
+
+    def client() -> Generator:
+        for _ in range(rounds):
+            start = system.now
+            yield from a.datagram.send(11, b.node_id, 12, payload)
+            msg = yield from dg_a.begin_get()
+            yield from dg_a.end_get(msg)
+            rtts["datagram"].append(system.now - start)
+        for _ in range(rounds):
+            start = system.now
+            yield from a.rmp.send(chan_ab, payload)
+            msg = yield from rmp_a.begin_get()
+            yield from rmp_a.end_get(msg)
+            rtts["rmp"].append(system.now - start)
+        port = a.rpc.allocate_client_port()
+        for _ in range(rounds):
+            start = system.now
+            yield from a.rpc.request(port, b.node_id, 31, payload)
+            rtts["reqresp"].append(system.now - start)
+        for _ in range(rounds):
+            start = system.now
+            yield from a.udp.send(41, b.ip_address, 42, payload)
+            msg = yield from udp_a.begin_get()
+            yield from udp_a.end_get(msg)
+            rtts["udp"].append(system.now - start)
+        tcp_cli = a.runtime.mailbox("obs-tcp-cli")
+        conn = yield from a.tcp.connect(6000, b.ip_address, 7000, tcp_cli)
+        yield from a.tcp.send_direct(conn, bytes(range(256)) * (tcp_bytes // 256))
+
+    b.runtime.fork_system(dg_echo(), "obs-dg-echo")
+    b.runtime.fork_system(rmp_echo(), "obs-rmp-echo")
+    b.runtime.fork_system(rpc_serve(), "obs-rpc-server")
+    b.runtime.fork_system(udp_echo(), "obs-udp-echo")
+    b.runtime.fork_application(tcp_collect(), "obs-tcp-collector")
+    a.runtime.fork_application(client(), "obs-client")
+
+    system.run(until=OBSERVE_DEADLINE_NS)
+
+    lines = []
+    for name in ("datagram", "rmp", "reqresp", "udp"):
+        samples = rtts[name]
+        mean = sum(samples) // len(samples) if samples else 0
+        lines.append(f"  {name}: {len(samples)}/{rounds} round trips, mean rtt {mean} ns")
+    lines.append(f"  tcp: delivered {len(tcp_received)}/{tcp_bytes} bytes")
+    return lines
+
+
+def _workload_rmp_stream(system: NectarSystem, rounds: int) -> List[str]:
+    """A reliable RMP message stream from cab-a to cab-b."""
+    a = system.nodes["cab-a"]
+    b = system.nodes["cab-b"]
+    inbox = b.runtime.mailbox("obs-rmp-inbox")
+    chan = a.rmp.open(100, b.node_id, 200)
+    b.rmp.open(200, a.node_id, 100, deliver_mailbox=inbox)
+    payloads = [
+        bytes([index & 0xFF]) * (64 * (index % 4 + 1)) for index in range(rounds)
+    ]
+    received: List[bytes] = []
+    errors: List[str] = []
+
+    def sender() -> Generator:
+        try:
+            for payload in payloads:
+                yield from a.rmp.send(chan, payload)
+        except ProtocolError as exc:
+            errors.append(f"sender: {exc}")
+
+    def receiver() -> Generator:
+        for _ in payloads:
+            msg = yield from inbox.begin_get()
+            received.append(msg.read())
+            yield from inbox.end_get(msg)
+
+    a.runtime.fork_application(sender(), "obs-rmp-sender")
+    b.runtime.fork_application(receiver(), "obs-rmp-receiver")
+    system.run(until=OBSERVE_DEADLINE_NS)
+
+    delivered_bytes = sum(len(item) for item in received)
+    in_order = received == payloads[: len(received)]
+    lines = [
+        f"  rmp: delivered {len(received)}/{len(payloads)} messages"
+        f" ({delivered_bytes} bytes, in_order={'yes' if in_order else 'NO'})",
+    ]
+    for error in errors:
+        lines.append(f"  error: {error}")
+    retransmits = a.runtime.stats.value("rmp_retransmits")
+    lines.append(f"  rmp retransmissions: {retransmits}")
+    return lines
+
+
+WORKLOADS = {
+    "table1": (_workload_table1, False, 5),
+    "rmp-stream": (_workload_rmp_stream, False, 24),
+    "chaos": (_workload_rmp_stream, True, 16),
+}
+
+
+def run_observe(workload: str, seed: int = 7, rounds: Optional[int] = None) -> ObserveResult:
+    """Run one named workload with telemetry on; returns all artifacts."""
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}"
+        )
+    runner, chaos, default_rounds = WORKLOADS[workload]
+    if rounds is None:
+        rounds = default_rounds
+    system = _build_rig(seed, chaos)
+    workload_lines = runner(system, rounds)
+    telemetry = system.telemetry
+    telemetry.collect()
+
+    recorder = telemetry.recorder
+    lines = [
+        f"observe workload: {workload} (seed {seed}, rounds {rounds})",
+        f"simulated time: {system.now} ns",
+    ]
+    lines.extend(workload_lines)
+    lines.append(f"trace events: {len(recorder.events)}")
+    lines.append("components: " + ", ".join(recorder.components()))
+    lines.append(f"metric series: {telemetry.metrics.series_count()}")
+    for name, node in sorted(system.nodes.items()):
+        by_cat = telemetry.profiler.by_category(node.cab.cpu.name)
+        breakdown = " ".join(f"{cat}={ns}" for cat, ns in by_cat.items())
+        lines.append(f"cycles[{name}]: {breakdown or '(idle)'}")
+    return ObserveResult(
+        workload=workload,
+        seed=seed,
+        system=system,
+        telemetry=telemetry,
+        summary_lines=lines,
+    )
+
+
+def main(argv: List[str]) -> int:
+    """CLI: ``python -m repro observe --workload NAME [--trace FILE] ...``."""
+    workload = "table1"
+    seed = 7
+    rounds: Optional[int] = None
+    outputs: Dict[str, Optional[str]] = {
+        "--trace": None,
+        "--metrics": None,
+        "--prom": None,
+        "--folded": None,
+    }
+    arguments = list(argv)
+    while arguments:
+        arg = arguments.pop(0)
+        if arg == "--workload":
+            if not arguments:
+                print("--workload requires a name", file=sys.stderr)
+                return 2
+            workload = arguments.pop(0)
+        elif arg == "--seed":
+            if not arguments or not arguments[0].lstrip("-").isdigit():
+                print("--seed requires an integer", file=sys.stderr)
+                return 2
+            seed = int(arguments.pop(0))
+        elif arg == "--rounds":
+            if not arguments or not arguments[0].isdigit():
+                print("--rounds requires a positive integer", file=sys.stderr)
+                return 2
+            rounds = int(arguments.pop(0))
+        elif arg in outputs:
+            if not arguments:
+                print(f"{arg} requires a file path", file=sys.stderr)
+                return 2
+            outputs[arg] = arguments.pop(0)
+        elif arg == "--list":
+            for name in sorted(WORKLOADS):
+                print(name)
+            return 0
+        else:
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
+    if workload not in WORKLOADS:
+        print(
+            f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = run_observe(workload, seed=seed, rounds=rounds)
+    renders = {
+        "--trace": result.trace_json,
+        "--metrics": result.metrics_json,
+        "--prom": result.prometheus,
+        "--folded": result.folded,
+    }
+    for flag, path in outputs.items():
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(renders[flag]())
+    sys.stdout.write(result.summary())
+    return 0

@@ -1,0 +1,123 @@
+"""One-stop telemetry session: recorder + metrics + cycle profiler.
+
+A :class:`Telemetry` object bundles the three observability pieces and
+knows how to wire them into a :class:`~repro.system.NectarSystem`
+(``system.enable_telemetry()`` is the usual entry point) and how to
+harvest everything into the metrics plane once the run is over.
+
+Harvesting happens *after* the simulation has gone idle — sampling during
+the run would require simulation events of its own and perturb event
+order.  Everything harvested is a simulated quantity, so two runs with the
+same seed produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.trace import TraceRecorder
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.perfetto import export_chrome_trace, match_spans
+from repro.telemetry.profiler import CycleProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system import NectarNode, NectarSystem
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Recorder, metrics registry, and profiler for one system."""
+
+    def __init__(self):
+        self.recorder = TraceRecorder()
+        self.metrics = MetricsRegistry()
+        self.profiler = CycleProfiler()
+        self.system: Optional["NectarSystem"] = None
+        self._collected = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def install(self, system: "NectarSystem") -> None:
+        """Attach to a system: trace sink plus per-node profilers."""
+        self.system = system
+        system.tracer.sink = self.recorder
+        for node in system.nodes.values():
+            self.attach_node(node)
+
+    def attach_node(self, node: "NectarNode") -> None:
+        """Wire the cycle profiler into one node (also used for late nodes)."""
+        node.cab.cpu.profiler = self.profiler
+        node.cab.profiler = self.profiler
+
+    # -- harvest -----------------------------------------------------------
+
+    def collect(self) -> MetricsRegistry:
+        """Harvest counters, gauges, span histograms, and profiler cycles.
+
+        Call once, after the run.  Safe to call again (the registry is
+        rebuilt idempotently from current state), but values observed into
+        histograms are only added on the first call.
+        """
+        if self.system is None:
+            raise RuntimeError("Telemetry.collect() before install()")
+        system = self.system
+
+        for name, node in sorted(system.nodes.items()):
+            scope = self.metrics.scope(name)
+            for stat, value in node.runtime.stats.snapshot().items():
+                scope.counter(stat).value = value
+            hw_scope = self.metrics.scope(f"{name}.hw")
+            for stat, value in node.cab.stats.snapshot().items():
+                hw_scope.counter(stat).value = value
+            scope.gauge("cpu.busy_ns").set(node.cab.cpu.busy_ns)
+            scope.gauge("heap.bytes_in_use").set(node.runtime.heap.allocated_bytes)
+            scope.gauge("heap.free_bytes").set(node.runtime.heap.free_bytes)
+
+        net_scope = self.metrics.scope("net")
+        for stat, value in system.network.stats.snapshot().items():
+            net_scope.counter(stat).value = value
+
+        if system.faults is not None:
+            fault_scope = self.metrics.scope("fault")
+            for stat, value in system.faults.stats.snapshot().items():
+                fault_scope.counter(stat).value = value
+
+        self.metrics.gauge("sim.elapsed_ns").set(system.sim.now)
+        self.metrics.gauge("trace.events").set(len(self.recorder.events))
+
+        if not self._collected:
+            span_scope = self.metrics.scope("span")
+            for component, label, duration in match_spans(self.recorder.events):
+                span_scope.histogram(f"{component}.{label}.duration_ns").observe(
+                    duration
+                )
+            self._collected = True
+
+        cycles_scope = self.metrics.scope("cycles")
+        for stack, duration in self.profiler.snapshot().items():
+            cycles_scope.counter(stack.replace(";", ".")).value = duration
+
+        return self.metrics
+
+    # -- exposition --------------------------------------------------------
+
+    def export_trace(self) -> str:
+        """The recorded events as byte-stable Chrome trace JSON."""
+        return export_chrome_trace(self.recorder.events)
+
+    def render_metrics_json(self) -> str:
+        """Byte-stable JSON metrics exposition (collects first if needed)."""
+        if self.system is not None:
+            self.collect()
+        return self.metrics.render_json()
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (collects first if needed)."""
+        if self.system is not None:
+            self.collect()
+        return self.metrics.render_prometheus()
+
+    def folded_profile(self) -> str:
+        """Folded-stack cycle profile for flamegraph tooling."""
+        return self.profiler.folded()

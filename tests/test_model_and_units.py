@@ -130,6 +130,19 @@ class TestStats:
         assert meter.elapsed_ns == 80_000
         assert meter.mbps == 100.0
 
+    def test_throughput_meter_zero_interval_reports_zero(self):
+        # Regression: a single account() call (or all bytes at one instant)
+        # used to divide by a zero interval; it must report 0.0 Mbit/s.
+        meter = ThroughputMeter()
+        meter.account(4096, 1_000)
+        assert meter.elapsed_ns == 0
+        assert meter.mbps == 0.0
+
+        started = ThroughputMeter()
+        started.start(7_000)
+        started.account(64, 7_000)
+        assert started.mbps == 0.0
+
 
 class TestTracer:
     def test_disabled_by_default(self):

@@ -30,3 +30,35 @@ def test_lint_cli_strict_exits_zero():
     )
     assert result.returncode == 0, result.stdout + result.stderr
     assert "nectarlint: clean" in result.stdout
+
+
+def test_telemetry_package_is_simulation_sensitive():
+    """Export paths must be byte-stable, so telemetry gets the strict rules."""
+    assert "telemetry" in nectarlint.SENSITIVE_PARTS
+    assert nectarlint._is_sensitive("src/repro/telemetry/perfetto.py")
+
+
+def test_telemetry_package_is_lint_clean():
+    findings = nectarlint.lint_paths([str(SRC / "repro" / "telemetry")])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"nectarlint findings in repro.telemetry:\n{rendered}"
+
+
+def test_wall_clock_in_telemetry_export_path_is_flagged():
+    source = "import time\n\n\ndef stamp_trace():\n    return time.time_ns()\n"
+    findings = nectarlint.lint_source(source, path="src/repro/telemetry/export.py")
+    assert any(finding.code == "ND001" for finding in findings), findings
+
+
+def test_unseeded_random_in_telemetry_export_path_is_flagged():
+    source = "import random\n\n\ndef jitter():\n    return random.random()\n"
+    findings = nectarlint.lint_source(source, path="src/repro/telemetry/export.py")
+    assert any(finding.code == "ND002" for finding in findings), findings
+
+
+def test_set_iteration_in_telemetry_gets_the_sensitive_rules():
+    source = "def track_names(tracks):\n    return [t for t in set(tracks)]\n"
+    sensitive = nectarlint.lint_source(source, path="src/repro/telemetry/x.py")
+    relaxed = nectarlint.lint_source(source, path="src/repro/bench/x.py")
+    assert any(finding.code == "ND004" for finding in sensitive), sensitive
+    assert not any(finding.code == "ND004" for finding in relaxed), relaxed

@@ -1,0 +1,259 @@
+"""Unit tests for the telemetry plane: spans, metrics, exporter, profiler."""
+
+import json
+
+import pytest
+
+from repro.errors import NectarError
+from repro.sim.trace import TraceEvent, TraceRecorder, Tracer
+from repro.telemetry import (
+    Counter,
+    CycleProfiler,
+    Histogram,
+    MetricsRegistry,
+    export_chrome_trace,
+)
+from repro.telemetry.perfetto import match_spans
+
+
+def make_tracer(recorder):
+    clock = {"now": 0}
+    tracer = Tracer(lambda: clock["now"])
+    tracer.sink = recorder
+    return tracer, clock
+
+
+# ------------------------------------------------------------------- tracer
+
+
+class TestSpans:
+    def test_begin_end_pairs_become_durations(self):
+        recorder = TraceRecorder()
+        tracer, clock = make_tracer(recorder)
+        tracer.begin("mailbox", "begin_put", track="cab-a.cpu/thread:t")
+        clock["now"] = 700
+        tracer.end("mailbox", "begin_put", track="cab-a.cpu/thread:t")
+        assert match_spans(recorder.events) == [("mailbox", "begin_put", 700)]
+
+    def test_nested_spans_match_stack_discipline(self):
+        recorder = TraceRecorder()
+        tracer, clock = make_tracer(recorder)
+        tracer.begin("a", "outer", track="t")
+        clock["now"] = 100
+        tracer.begin("b", "inner", track="t")
+        clock["now"] = 150
+        tracer.end("b", "inner", track="t")
+        clock["now"] = 400
+        tracer.end("a", "outer", track="t")
+        assert match_spans(recorder.events) == [
+            ("b", "inner", 50),
+            ("a", "outer", 400),
+        ]
+
+    def test_async_spans_match_by_id_across_tracks(self):
+        recorder = TraceRecorder()
+        tracer, clock = make_tracer(recorder)
+        tracer.async_begin("datalink", "frame", 11)
+        tracer.async_begin("datalink", "frame", 12)
+        clock["now"] = 900
+        tracer.async_end("datalink", "frame", 12)
+        clock["now"] = 1000
+        tracer.async_end("datalink", "frame", 11)
+        assert match_spans(recorder.events) == [
+            ("datalink", "frame", 900),
+            ("datalink", "frame", 1000),
+        ]
+
+    def test_unbalanced_spans_are_ignored(self):
+        recorder = TraceRecorder()
+        tracer, _clock = make_tracer(recorder)
+        tracer.begin("a", "open-forever", track="t")
+        tracer.async_begin("datalink", "frame", 5)  # dropped frame: no end
+        tracer.end("b", "never-opened", track="other")
+        assert match_spans(recorder.events) == []
+
+    def test_span_context_manager(self):
+        recorder = TraceRecorder()
+        tracer, clock = make_tracer(recorder)
+        with tracer.span("kernel", "work", track="t"):
+            clock["now"] = 30
+        assert match_spans(recorder.events) == [("kernel", "work", 30)]
+
+    def test_recorder_component_filter(self):
+        recorder = TraceRecorder()
+        tracer, clock = make_tracer(recorder)
+        tracer.emit("cab-a", "send")
+        clock["now"] = 2_000
+        tracer.emit("cab-b", "send")
+        clock["now"] = 5_000
+        tracer.emit("cab-b", "deliver")
+        assert recorder.find("send", component="cab-b").time_ns == 2_000
+        assert len(recorder.find_all("send")) == 2
+        assert recorder.interval_ns("send", "deliver", component="cab-b") == 3_000
+        assert (
+            recorder.interval_ns(
+                "send", "deliver", start_component="cab-a", end_component="cab-b"
+            )
+            == 5_000
+        )
+        with pytest.raises(KeyError):
+            recorder.find("send", component="cab-z")
+
+
+# ------------------------------------------------------------------ exporter
+
+
+class TestChromeTraceExport:
+    def _events(self):
+        return [
+            TraceEvent(0, "kernel", "irq:rx", phase="B", track="cab-a.cpu/irq:rx"),
+            TraceEvent(250, "kernel", "irq:rx", phase="E", track="cab-a.cpu/irq:rx"),
+            TraceEvent(300, "datalink", "frame", {"bytes": 64}, phase="b", span_id=77),
+            TraceEvent(900, "datalink", "frame", phase="e", span_id=77),
+            TraceEvent(1000, "fifo", "level", 128, phase="C", track="cab-a.fifo"),
+            TraceEvent(1100, "rmp", "retransmit", {"seq": 3}),
+        ]
+
+    def test_export_is_valid_chrome_trace_json(self):
+        payload = json.loads(export_chrome_trace(self._events()))
+        assert payload["displayTimeUnit"] == "ns"
+        events = payload["traceEvents"]
+        phases = [event["ph"] for event in events]
+        for phase in ("M", "B", "E", "b", "e", "C", "i"):
+            assert phase in phases
+        for event in events:
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_timestamps_are_microseconds(self):
+        payload = json.loads(export_chrome_trace(self._events()))
+        begin = next(e for e in payload["traceEvents"] if e["ph"] == "B")
+        assert begin["ts"] == 0.0
+        end = next(e for e in payload["traceEvents"] if e["ph"] == "E")
+        assert end["ts"] == 0.25  # 250 ns
+
+    def test_track_metadata_names_processes_and_threads(self):
+        payload = json.loads(export_chrome_trace(self._events()))
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "cab-a.cpu") in names
+        assert ("thread_name", "irq:rx") in names
+
+    def test_async_ids_are_normalized_densely(self):
+        # Frame seqnos come from a process-global counter; the export must
+        # not leak them.  Two event lists identical except for the raw ids
+        # serialize to the same bytes.
+        def events(base):
+            return [
+                TraceEvent(0, "datalink", "frame", phase="b", span_id=base),
+                TraceEvent(5, "datalink", "frame", phase="b", span_id=base + 1),
+                TraceEvent(9, "datalink", "frame", phase="e", span_id=base),
+            ]
+
+        assert export_chrome_trace(events(100)) == export_chrome_trace(events(90_000))
+
+    def test_export_is_byte_stable(self):
+        events = self._events()
+        assert export_chrome_trace(events) == export_chrome_trace(list(events))
+
+
+# ------------------------------------------------------------------- metrics
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").inc()
+        registry.counter("frames").inc(3)
+        registry.gauge("level").set(7)
+        registry.gauge("level").add(-2)
+        snap = registry.snapshot()
+        assert snap["frames"] == {"type": "counter", "value": 4}
+        assert snap["level"] == {"type": "gauge", "value": 5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(NectarError):
+            Counter("x").inc(-1)
+
+    def test_histogram_buckets_and_overflow(self):
+        hist = Histogram("lat", buckets=(10, 100))
+        for value in (5, 10, 11, 1000):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["counts"] == [2, 1]
+        assert snap["overflow"] == 1
+        assert snap["count"] == 4
+        assert snap["sum"] == 1026
+
+    def test_scopes_share_one_registry(self):
+        registry = MetricsRegistry()
+        cab = registry.scope("cab-a")
+        cab.counter("frames").inc(2)
+        cab.scope("hw").counter("crc_errors").inc()
+        assert registry.names() == ["cab-a.frames", "cab-a.hw.crc_errors"]
+        assert registry.series_count() == 2
+
+    def test_kind_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(NectarError):
+            registry.gauge("x")
+
+    def test_render_json_is_byte_stable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        first = registry.render_json()
+        assert first == registry.render_json()
+        decoded = json.loads(first)
+        assert list(decoded["series"]) == ["a", "b"]
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.scope("cab-a").counter("frames").inc(4)
+        hist = registry.histogram("rtt_ns", buckets=(100, 1000))
+        hist.observe(50)
+        hist.observe(5000)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_cab_a_frames counter" in text
+        assert "repro_cab_a_frames 4" in text
+        assert 'repro_rtt_ns_bucket{le="100"} 1' in text
+        assert 'repro_rtt_ns_bucket{le="+Inf"} 2' in text
+        assert "repro_rtt_ns_sum 5050" in text
+        assert "repro_rtt_ns_count 2" in text
+        assert text.endswith("\n")
+
+
+# ------------------------------------------------------------------ profiler
+
+
+class TestCycleProfiler:
+    def test_accounting_and_categories(self):
+        profiler = CycleProfiler()
+        profiler.account("cab-a.cpu", "thread", "tcp-send", 400)
+        profiler.account("cab-a.cpu", "thread", "tcp-send", 100)
+        profiler.account("cab-a.cpu", "irq", "rx", 250)
+        profiler.account("cab-b.cpu", "sched", "context-switch", 90)
+        assert profiler.total_ns() == 840
+        assert profiler.total_ns("cab-a.cpu") == 750
+        assert profiler.by_category("cab-a.cpu") == {"irq": 250, "thread": 500}
+
+    def test_non_positive_durations_ignored(self):
+        profiler = CycleProfiler()
+        profiler.account("cpu", "thread", "t", 0)
+        profiler.account("cpu", "thread", "t", -5)
+        assert profiler.total_ns() == 0
+
+    def test_folded_output(self):
+        profiler = CycleProfiler()
+        profiler.account("cab-a.cpu", "thread", "client", 500)
+        profiler.account("cab-a.cpu", "irq", "rx", 250)
+        assert profiler.folded() == (
+            "cab-a.cpu;irq;rx 250\ncab-a.cpu;thread;client 500\n"
+        )
+
+    def test_snapshot_is_sorted(self):
+        profiler = CycleProfiler()
+        profiler.account("b", "x", "y", 1)
+        profiler.account("a", "x", "y", 2)
+        assert list(profiler.snapshot()) == ["a;x;y", "b;x;y"]
