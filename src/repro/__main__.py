@@ -5,6 +5,8 @@ Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
         python -m repro  analyze [--rounds N]
         python -m repro  chaos [--scenario NAME] [--seed N] [--smoke] [--list]
         python -m repro  observe [--workload NAME] [--trace FILE] [--metrics FILE]
+        python -m repro  scale [--shape S] [--hubs N] [--workers LIST]
+                               [--parity] [--bench] [--json FILE]
 
 ``lint`` runs nectarlint, the static determinism/sim-safety checker
 (see :mod:`repro.analysis.nectarlint`); ``analyze`` runs the dynamic
@@ -12,7 +14,9 @@ sanitizer + determinism harness (see :mod:`repro.analysis.driver`);
 ``chaos`` runs a fault-injection campaign against the reliable transports
 (see :mod:`repro.faults.campaign`); ``observe`` runs a workload with the
 telemetry plane on and exports Perfetto traces, metrics, and cycle
-profiles (see :mod:`repro.telemetry.observe`).
+profiles (see :mod:`repro.telemetry.observe`); ``scale`` runs a
+fleet-scale topology sharded across worker processes
+(see :mod:`repro.cluster`).
 """
 
 from __future__ import annotations
@@ -48,6 +52,10 @@ def main(argv: list[str]) -> int:
         from repro.telemetry import observe
 
         return observe.main(argv[1:])
+    if argv and argv[0] == "scale":
+        from repro.cluster import cli
+
+        return cli.main(argv[1:])
     targets = argv or ["all"]
     names = list(_EXPERIMENTS) if targets == ["all"] else targets
     for name in names:

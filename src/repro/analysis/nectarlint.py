@@ -39,7 +39,16 @@ __all__ = ["lint_paths", "lint_source", "main"]
 
 #: Path components marking simulation-sensitive code (ordering and integer
 #: nanoseconds are correctness-critical there).
-SENSITIVE_PARTS = ("sim", "runtime", "cab", "protocols", "hw", "model", "telemetry")
+SENSITIVE_PARTS = (
+    "sim",
+    "runtime",
+    "cab",
+    "protocols",
+    "hw",
+    "model",
+    "telemetry",
+    "cluster",
+)
 
 #: Wall-clock callables (matched against the trailing two dotted components).
 _WALL_CLOCKS = {

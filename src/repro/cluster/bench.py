@@ -1,0 +1,128 @@
+"""The ``python -m repro scale`` benchmark behind ``BENCH_scale.json``.
+
+One bench run executes the unsharded reference and a sharded run per
+requested worker count on the same fleet, workload, and seed, then reports
+two strictly separated sections:
+
+* ``deterministic`` — event counts, simulated time, barrier counts, and the
+  parity verdict.  Byte-identical across repeated invocations with the
+  same configuration (this is what the regression test pins).
+* ``measured`` — wall-clock and events/sec, including the speedup of each
+  worker count over the 1-worker sharded run.  Recorded, never gated: the
+  numbers move with the machine.
+
+The JSON is rendered with sorted keys and fixed separators so a given
+result always serializes to the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import List, Optional
+
+from repro.cluster.conductor import Conductor, FleetResult, run_reference
+from repro.cluster.fleet import FleetSpec, make_fleet
+from repro.cluster.workload import WorkloadSpec
+
+__all__ = ["render_bench_json", "run_scale_bench"]
+
+
+def _wall_ns() -> int:
+    # Wall-clock is this module's whole point: the bench measures real
+    # elapsed time and quarantines it in the "measured" section.
+    return time.perf_counter_ns()  # nectarlint: disable=ND001
+
+
+def _timed(fn) -> FleetResult:
+    start = _wall_ns()
+    result = fn()
+    result.wall_ns = max(1, _wall_ns() - start)
+    return result
+
+
+def _events_per_sec(result: FleetResult) -> float:
+    return round(result.events * 1e9 / result.wall_ns, 1)
+
+
+def run_scale_bench(
+    fleet: FleetSpec,
+    workload: WorkloadSpec,
+    workers: Optional[List[int]] = None,
+    mode: str = "process",
+) -> dict:
+    """Run reference + sharded runs and assemble the bench report."""
+    workers = workers or [1, 4]
+    reference = _timed(lambda: run_reference(fleet, workload))
+    runs = [
+        _timed(Conductor(fleet, workload, n_workers=n, mode=mode).run)
+        for n in workers
+    ]
+    reference_digest = reference.protocol_digest()
+    parity = all(run.protocol_digest() == reference_digest for run in runs)
+
+    deterministic = {
+        "parity": parity,
+        "reference": {"events": reference.events, "sim_ns": reference.sim_ns},
+        "workers": {
+            str(run.n_workers): {
+                "events": run.events,
+                "sim_ns": run.sim_ns,
+                "barriers": run.barriers,
+            }
+            for run in runs
+        },
+    }
+    base_wall = runs[0].wall_ns
+    measured = {
+        "reference": {
+            "wall_ns": reference.wall_ns,
+            "events_per_sec": _events_per_sec(reference),
+        },
+        "workers": {
+            str(run.n_workers): {
+                "wall_ns": run.wall_ns,
+                "events_per_sec": _events_per_sec(run),
+                "speedup_vs_1worker": round(base_wall / run.wall_ns, 3),
+            }
+            for run in runs
+        },
+    }
+    return {
+        "bench": "scale",
+        "config": {
+            "hubs": len(fleet.hubs),
+            "links": len(fleet.links),
+            "cabs": len(fleet.cabs),
+            "hub_ports": fleet.hub_ports,
+            "mode": mode,
+            "workload": {
+                "seed": workload.seed,
+                "rmp_flows": workload.rmp_flows,
+                "rpc_flows": workload.rpc_flows,
+                "tcp_flows": workload.tcp_flows,
+                "rmp_messages": workload.rmp_messages,
+                "rmp_bytes": workload.rmp_bytes,
+                "rpc_calls": workload.rpc_calls,
+                "rpc_bytes": workload.rpc_bytes,
+                "tcp_bytes": workload.tcp_bytes,
+            },
+        },
+        "deterministic": deterministic,
+        "measured": measured,
+    }
+
+
+def render_bench_json(report: dict) -> str:
+    """Byte-stable serialization (sorted keys, fixed separators, newline)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def default_fleet(
+    shape: str = "line",
+    hubs: int = 4,
+    cabs_per_hub: int = 16,
+    hub_ports: int = 18,
+) -> FleetSpec:
+    """The bench's standard rig: 4 HUBs in a line, 64 CABs."""
+    return make_fleet(shape, hubs, cabs_per_hub, hub_ports)

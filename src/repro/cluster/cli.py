@@ -1,0 +1,154 @@
+"""``python -m repro scale`` — fleet-scale sharded simulation driver.
+
+Examples::
+
+    python -m repro scale                          # 4-hub line, 4 workers
+    python -m repro scale --shape star --hubs 5 --workers 2
+    python -m repro scale --parity --seeds 1,2,3   # reference vs sharded
+    python -m repro scale --bench --json BENCH_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.cluster.bench import render_bench_json, run_scale_bench
+from repro.cluster.conductor import Conductor, run_reference
+from repro.cluster.fleet import make_fleet
+from repro.cluster.partition import Partitioner
+from repro.cluster.workload import WorkloadSpec
+
+__all__ = ["main"]
+
+
+def _parse_int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scale",
+        description="Sharded parallel simulation of a fleet-scale Nectar network.",
+    )
+    parser.add_argument("--shape", default="line", choices=["line", "star", "fat-tree"])
+    parser.add_argument("--hubs", type=int, default=4, help="total HUB budget")
+    parser.add_argument("--cabs-per-hub", type=int, default=16)
+    parser.add_argument("--hub-ports", type=int, default=18)
+    parser.add_argument("--workers", default="4", help="comma list of worker counts")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--seeds", default=None, help="comma list of seeds (parity mode)"
+    )
+    parser.add_argument("--mode", default="process", choices=["inline", "process"])
+    parser.add_argument(
+        "--strategy", default="contiguous", choices=["contiguous", "round-robin"]
+    )
+    parser.add_argument(
+        "--parity",
+        action="store_true",
+        help="check sharded runs against the unsharded reference, bit for bit",
+    )
+    parser.add_argument(
+        "--bench", action="store_true", help="measure events/sec and speedup"
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="write bench report to PATH"
+    )
+    return parser
+
+
+def _workload(seed: int) -> WorkloadSpec:
+    return WorkloadSpec(seed=seed)
+
+
+def _describe(fleet, partition) -> None:
+    print(f"fleet: {fleet.describe()}")
+    print(f"partition: {partition.describe()}")
+    cuts = Partitioner.cut_links(fleet, partition)
+    print(f"cut links: {len(cuts)}")
+
+
+def _run_parity(args, fleet) -> int:
+    seeds = _parse_int_list(args.seeds) if args.seeds else [args.seed]
+    workers = _parse_int_list(args.workers)
+    failures = 0
+    for seed in seeds:
+        workload = _workload(seed)
+        reference = run_reference(fleet, workload)
+        digest = reference.protocol_digest()
+        for n_workers in workers:
+            result = Conductor(
+                fleet,
+                workload,
+                n_workers=n_workers,
+                mode=args.mode,
+                strategy=args.strategy,
+            ).run()
+            ok = result.protocol_digest() == digest
+            verdict = "identical" if ok else "DIVERGED"
+            print(
+                f"seed={seed} workers={n_workers}: {len(result.flows)} flows, "
+                f"{result.barriers} barriers, {verdict}"
+            )
+            failures += 0 if ok else 1
+    print("parity: PASS" if failures == 0 else f"parity: FAIL ({failures})")
+    return 0 if failures == 0 else 1
+
+
+def _run_bench(args, fleet) -> int:
+    report = run_scale_bench(
+        fleet,
+        _workload(args.seed),
+        workers=_parse_int_list(args.workers),
+        mode=args.mode,
+    )
+    rendered = render_bench_json(report)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(rendered)
+        measured = report["measured"]["workers"]
+        for count, stats in sorted(measured.items(), key=lambda kv: int(kv[0])):
+            print(
+                f"workers={count}: {stats['events_per_sec']:.0f} events/sec, "
+                f"speedup {stats['speedup_vs_1worker']:.2f}x vs 1 worker"
+            )
+        print(f"wrote {args.json}")
+    else:
+        sys.stdout.write(rendered)
+    return 0 if report["deterministic"]["parity"] else 1
+
+
+def main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro scale``; returns the exit code."""
+    args = _build_parser().parse_args(argv)
+    fleet = make_fleet(args.shape, args.hubs, args.cabs_per_hub, args.hub_ports)
+    if args.parity:
+        _describe(fleet, Partitioner.partition(fleet, max(_parse_int_list(args.workers)), args.strategy))
+        return _run_parity(args, fleet)
+    if args.bench:
+        return _run_bench(args, fleet)
+    workers = max(_parse_int_list(args.workers))
+    conductor = Conductor(
+        fleet,
+        _workload(args.seed),
+        n_workers=workers,
+        mode=args.mode,
+        strategy=args.strategy,
+    )
+    _describe(fleet, conductor.partition)
+    result = conductor.run()
+    print(
+        f"workers={workers} mode={args.mode}: {len(result.flows)} flows "
+        f"complete, {result.events} events, {result.sim_ns} ns simulated, "
+        f"{result.barriers} barriers"
+    )
+    if result.incomplete:
+        print(f"INCOMPLETE flows: {', '.join(result.incomplete)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main(sys.argv[1:]))

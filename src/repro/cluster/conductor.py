@@ -1,0 +1,321 @@
+"""Bounded-window conservative synchronization across shard simulators.
+
+The conductor advances every shard in lock-step windows of at most the
+fleet's *lookahead* — ``CostModel.fiber_propagation_ns``, the hard lower
+bound on how soon anything emitted on one side of an inter-HUB fiber can be
+observed on the other.  A hand-off emitted at time ``s`` inside the window
+``[T, T + W)`` fires at ``s + lookahead >= T + W`` whenever ``W <=
+lookahead``, so exchanging hand-offs only at the window barrier can never
+deliver one into a shard's past.
+
+Between barriers the window start jumps straight to the earliest pending
+event across all shards (idle gaps cost one barrier, not thousands), and
+the run terminates when every shard is idle with nothing in flight — all
+hand-offs are drained and injected at each barrier, so "every queue empty"
+is a complete termination check.
+
+Exchange is deterministic by construction: hand-offs are sorted by
+``(fire_ns, key)`` before injection, and the keys themselves (source hub,
+output port, per-site sequence) are shard-independent, so the merged result
+is a pure function of the fleet, workload, and seed — never of worker
+scheduling.  ``workers=1`` and ``workers=N`` runs, and the unsharded
+single-``Simulator`` reference, all produce bit-identical protocol-level
+results (see docs/scaling.md for the argument).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.fleet import FleetSpec, build_fleet_system
+from repro.cluster.partition import Partition, Partitioner
+from repro.cluster.runner import ShardRunner, worker_main
+from repro.cluster.workload import Workload, WorkloadSpec
+from repro.errors import ConfigurationError
+from repro.model.costs import DEFAULT_COSTS
+
+__all__ = ["Conductor", "FleetResult", "run_reference"]
+
+
+@dataclass
+class FleetResult:
+    """The merged outcome of a fleet run.
+
+    ``flows`` / ``retransmits`` / ``incomplete`` are protocol-level and
+    bit-identical across worker counts; ``events`` / ``sim_ns`` /
+    ``barriers`` are meter readings that are deterministic for a given
+    worker count; ``wall_ns`` is stamped by the bench harness and is the
+    only non-deterministic field.
+    """
+
+    n_workers: int
+    mode: str
+    #: flow name -> {kind, src, dst, bytes, messages, completed_ns}
+    flows: Dict[str, dict] = field(default_factory=dict)
+    #: node name -> {rmp_retransmits, rpc_retries, tcp_retransmits}
+    retransmits: Dict[str, dict] = field(default_factory=dict)
+    #: locally-observed flows that never finished (should be empty)
+    incomplete: List[str] = field(default_factory=list)
+    events: int = 0
+    sim_ns: int = 0
+    barriers: int = 0
+    wall_ns: int = 0
+    #: merged telemetry (series snapshot / Chrome-trace events), when enabled
+    metrics: Optional[dict] = None
+    trace: Optional[list] = None
+
+    def protocol_digest(self) -> dict:
+        """The parity currency: everything that must match bit-for-bit."""
+        return {
+            "flows": {name: dict(rec) for name, rec in sorted(self.flows.items())},
+            "retransmits": {
+                name: dict(rec) for name, rec in sorted(self.retransmits.items())
+            },
+            "incomplete": sorted(self.incomplete),
+        }
+
+
+# ---------------------------------------------------------------- shard proxies
+
+
+class _InlineShard:
+    """A shard executed in-process (debuggable, zero IPC)."""
+
+    def __init__(self, fleet, partition, shard_id, workload_spec, telemetry):
+        self.runner = ShardRunner(
+            fleet, partition, shard_id, workload_spec, telemetry=telemetry
+        )
+        self._pending = None
+
+    def initial_time(self):
+        return self.runner.next_time()
+
+    def begin_advance(self, until: int) -> None:
+        self.runner.advance(until)
+        self._pending = (self.runner.take_outbox(), self.runner.next_time())
+
+    def finish_advance(self):
+        pending, self._pending = self._pending, None
+        return pending
+
+    def inject(self, handoffs):
+        self.runner.inject(handoffs)
+        return self.runner.next_time()
+
+    def results(self) -> dict:
+        return self.runner.results()
+
+    def stop(self) -> None:
+        pass
+
+
+class _ProcessShard:
+    """A shard executed in a worker process, driven over a pipe."""
+
+    def __init__(self, context, fleet, partition, shard_id, workload_spec, telemetry):
+        self.shard_id = shard_id
+        self.conn, child = context.Pipe()
+        self.process = context.Process(
+            target=worker_main,
+            args=(child, fleet, partition, shard_id, workload_spec, telemetry),
+            name=f"nectar-shard-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def _recv(self):
+        reply = self.conn.recv()
+        if reply[0] != "ok":
+            raise RuntimeError(f"shard worker failed: {reply[1]}")
+        return reply[1:]
+
+    def initial_time(self):
+        return self._recv()[0]
+
+    def begin_advance(self, until: int) -> None:
+        self.conn.send(("advance", until))
+
+    def finish_advance(self):
+        outbox, next_time = self._recv()
+        return outbox, next_time
+
+    def inject(self, handoffs):
+        self.conn.send(("inject", handoffs))
+        return self._recv()[0]
+
+    def results(self) -> dict:
+        self.conn.send(("results",))
+        return self._recv()[0]
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        # OS-process join, not a simulation thread.
+        self.process.join(timeout=10)  # nectarlint: disable=NS101
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=10)  # nectarlint: disable=NS101
+        self.conn.close()
+
+
+def _fork_context():
+    """Prefer fork (cheap, Linux); fall back to spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context("spawn")
+
+
+# -------------------------------------------------------------------- conductor
+
+
+class Conductor:
+    """Partition a fleet, run its shards in lock-step, merge the results."""
+
+    def __init__(
+        self,
+        fleet: FleetSpec,
+        workload_spec: WorkloadSpec,
+        n_workers: int = 1,
+        mode: str = "inline",
+        strategy: str = "contiguous",
+        limit_ns: Optional[int] = None,
+        telemetry: bool = False,
+    ):
+        if mode not in ("inline", "process"):
+            raise ConfigurationError(
+                f"unknown conductor mode {mode!r} (choose inline or process)"
+            )
+        self.fleet = fleet
+        self.workload_spec = workload_spec
+        self.mode = mode
+        self.partition = Partitioner.partition(fleet, n_workers, strategy)
+        self.telemetry = telemetry
+        self.lookahead_ns = DEFAULT_COSTS.fiber_propagation_ns
+        self.limit_ns = limit_ns
+        self._hub_shard = {
+            hub: shard_id
+            for shard_id, hubs in enumerate(self.partition.shards)
+            for hub in hubs
+        }
+
+    def run(self) -> FleetResult:
+        """Drive every shard to quiescence; return the merged result."""
+        n = self.partition.n_shards
+        if self.mode == "process" and n > 1:
+            context = _fork_context()
+            shards = [
+                _ProcessShard(
+                    context,
+                    self.fleet,
+                    self.partition,
+                    i,
+                    self.workload_spec,
+                    self.telemetry,
+                )
+                for i in range(n)
+            ]
+        else:
+            shards = [
+                _InlineShard(
+                    self.fleet, self.partition, i, self.workload_spec, self.telemetry
+                )
+                for i in range(n)
+            ]
+        try:
+            return self._drive(shards)
+        finally:
+            for shard in shards:
+                shard.stop()
+
+    def _drive(self, shards) -> FleetResult:
+        times = [shard.initial_time() for shard in shards]
+        barriers = 0
+        while True:
+            pending = [t for t in times if t is not None]
+            if not pending:
+                break
+            start = min(pending)
+            if self.limit_ns is not None and start > self.limit_ns:
+                raise RuntimeError(
+                    f"fleet still active past limit ({start} > {self.limit_ns} ns); "
+                    f"incomplete flows or a runaway timer?"
+                )
+            # Inclusive window [start, start + lookahead): a hand-off emitted
+            # at time s >= start fires at s + lookahead >= the next window.
+            until = start + self.lookahead_ns - 1
+            for shard in shards:
+                shard.begin_advance(until)
+            handoffs = []
+            for index, shard in enumerate(shards):
+                outbox, times[index] = shard.finish_advance()
+                handoffs.extend(outbox)
+            barriers += 1
+            if not handoffs:
+                continue
+            handoffs.sort(key=lambda h: (h.fire_ns, h.key))
+            by_shard = {}
+            for handoff in handoffs:
+                by_shard.setdefault(
+                    self._hub_shard[handoff.dst_hub], []
+                ).append(handoff)
+            for shard_id, batch in sorted(by_shard.items()):
+                times[shard_id] = shards[shard_id].inject(batch)
+        return self._merge([shard.results() for shard in shards], barriers)
+
+    def _merge(self, shard_results, barriers: int) -> FleetResult:
+        result = FleetResult(
+            n_workers=self.partition.n_shards, mode=self.mode, barriers=barriers
+        )
+        for shard in shard_results:
+            overlap = set(result.flows) & set(shard["flows"])
+            if overlap:  # pragma: no cover - would be a partitioning bug
+                raise RuntimeError(f"flows observed by two shards: {sorted(overlap)}")
+            result.flows.update(shard["flows"])
+            result.retransmits.update(shard["retransmits"])
+            result.incomplete.extend(shard["incomplete"])
+            result.events += shard["events"]
+            result.sim_ns = max(result.sim_ns, shard["sim_ns"])
+        if self.telemetry:
+            from repro.cluster.merge import merge_metrics, merge_traces
+
+            harvests = [shard.get("telemetry", {}) for shard in shard_results]
+            result.metrics = merge_metrics(
+                [h.get("metrics", {}) for h in harvests]
+            )
+            result.trace = merge_traces([h.get("trace", []) for h in harvests])
+        result.flows = dict(sorted(result.flows.items()))
+        result.retransmits = dict(sorted(result.retransmits.items()))
+        result.incomplete.sort()
+        return result
+
+
+def run_reference(
+    fleet: FleetSpec, workload_spec: WorkloadSpec, telemetry: bool = False
+) -> FleetResult:
+    """The unsharded baseline: one Simulator runs the whole fleet."""
+    system = build_fleet_system(fleet)
+    if telemetry:
+        system.enable_telemetry()
+    workload = Workload(workload_spec, fleet)
+    workload.install(system)
+    system.run()
+    merged = FleetResult(n_workers=0, mode="reference")
+    results = workload.results(system)
+    merged.flows = results["flows"]
+    merged.retransmits = results["retransmits"]
+    merged.incomplete = sorted(workload.incomplete(system))
+    merged.events = system.sim._seq
+    merged.sim_ns = system.sim.now
+    if telemetry:
+        from repro.cluster.merge import merge_metrics, merge_traces, shard_telemetry
+
+        harvest = shard_telemetry(system)
+        merged.metrics = merge_metrics([harvest["metrics"]])
+        merged.trace = merge_traces([harvest["trace"]])
+    return merged

@@ -1,0 +1,130 @@
+"""One shard of a partitioned fleet: a Simulator plus its boundary queues.
+
+A :class:`ShardRunner` owns the shard's :class:`~repro.system.NectarSystem`
+(full stacks on its hubs, ghosts elsewhere), collects outbound
+:class:`~repro.hub.network.Handoff` records from the network's boundary
+seam, and re-injects inbound ones under their original fire time and sort
+key.  The conductor drives it through bounded windows; the same class also
+serves as the body of a worker process (:func:`worker_main`), speaking a
+tiny command protocol over a pipe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.cluster.fleet import FleetSpec, build_shard_system
+from repro.cluster.partition import Partition
+from repro.cluster.workload import Workload, WorkloadSpec
+from repro.hub.network import Handoff
+
+__all__ = ["ShardRunner", "worker_main"]
+
+
+class ShardRunner:
+    """Build and drive one shard's simulation."""
+
+    def __init__(
+        self,
+        fleet: FleetSpec,
+        partition: Partition,
+        shard_id: int,
+        workload_spec: WorkloadSpec,
+        costs=None,
+        telemetry: bool = False,
+    ):
+        self.shard_id = shard_id
+        self.hub_names = partition.shards[shard_id]
+        self.system = build_shard_system(fleet, self.hub_names, costs=costs)
+        if telemetry:
+            self.system.enable_telemetry()
+        self.workload = Workload(workload_spec, fleet)
+        self.workload.install(self.system)
+        self.outbox: List[Handoff] = []
+        self.system.network.boundary_egress = self.outbox.append
+
+    # -- the conductor-facing surface ----------------------------------------
+
+    def advance(self, until: int) -> None:
+        """Run every event with ``time <= until`` (the window is inclusive)."""
+        self.system.sim.run(until=until)
+
+    def take_outbox(self) -> List[Handoff]:
+        """Drain hand-offs that left the shard since the last call."""
+        # Copy-and-clear in place: boundary_egress holds a bound append on
+        # this exact list, so rebinding the attribute would orphan it.
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out
+
+    def inject(self, handoffs: Iterable[Handoff]) -> None:
+        """Deliver hand-offs from other shards (fire times are in our future)."""
+        for handoff in handoffs:
+            self.system.network.inject_handoff(handoff)
+
+    def next_time(self) -> Optional[int]:
+        """Earliest pending local event (None when the shard is idle)."""
+        return self.system.sim.peek_next_time()
+
+    def results(self) -> dict:
+        """Protocol-level results plus this shard's meter readings."""
+        results = self.workload.results(self.system)
+        results["events"] = self.system.sim._seq
+        results["sim_ns"] = self.system.sim.now
+        results["incomplete"] = list(self.workload.incomplete(self.system))
+        if self.system.telemetry is not None:
+            from repro.cluster.merge import shard_telemetry
+
+            results["telemetry"] = shard_telemetry(self.system)
+        return results
+
+
+def worker_main(
+    conn,
+    fleet: FleetSpec,
+    partition: Partition,
+    shard_id: int,
+    workload_spec: WorkloadSpec,
+    telemetry: bool = False,
+) -> None:
+    """Worker-process body: serve conductor commands over ``conn``.
+
+    Protocol (request -> response):
+
+    * ``("advance", until)`` -> ``("ok", outbox, next_time)``
+    * ``("inject", handoffs)`` -> ``("ok", next_time)``
+    * ``("results",)`` -> ``("ok", results_dict)``
+    * ``("stop",)`` -> process exits
+
+    Any exception is reported as ``("error", repr)`` and the worker exits.
+    """
+    try:
+        runner = ShardRunner(
+            fleet, partition, shard_id, workload_spec, telemetry=telemetry
+        )
+        conn.send(("ok", runner.next_time()))
+        while True:
+            command = conn.recv()
+            verb = command[0]
+            if verb == "advance":
+                runner.advance(command[1])
+                conn.send(("ok", runner.take_outbox(), runner.next_time()))
+            elif verb == "inject":
+                runner.inject(command[1])
+                conn.send(("ok", runner.next_time()))
+            elif verb == "results":
+                conn.send(("ok", runner.results()))
+            elif verb == "stop":
+                return
+            else:
+                conn.send(("error", f"unknown command {verb!r}"))
+                return
+    except EOFError:
+        return
+    except BaseException as exc:  # surface, don't hang the barrier
+        try:
+            conn.send(("error", f"shard {shard_id}: {exc!r}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()

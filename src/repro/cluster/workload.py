@@ -1,0 +1,288 @@
+"""Deterministic mixed fleet traffic: RMP + RPC + TCP flows from a seed.
+
+A :class:`WorkloadSpec` expands to a flow list as a pure function of
+``(seed, fleet spec)`` — every process that holds the same spec derives the
+same flows, endpoints, ports, and payloads.  :class:`Workload.install` then
+wires up only the halves whose CAB is *local* to the given system: in the
+single-process reference that is every half, in a shard it is just the
+shard's own senders/receivers, and the two views add up to exactly the same
+traffic on the wire.
+
+Protocol-level results (the parity currency of docs/scaling.md) are
+recorded at each flow's observing endpoint — the RMP receiver, the RPC
+client, the TCP server — as delivered bytes, message counts, and the
+simulated completion time.  Retransmission counters are per-node sums,
+reported for whichever nodes are local.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cluster.fleet import FleetSpec
+from repro.errors import ConfigurationError
+from repro.protocols.headers import NectarTransportHeader
+
+__all__ = ["Flow", "Workload", "WorkloadSpec"]
+
+# Disjoint port ranges, indexed by global flow number, so one CAB can
+# terminate many flows without a collision.
+_RMP_SRC_PORT = 0x4000
+_RMP_DST_PORT = 0x4800
+_RPC_CLIENT_PORT = 0x3000
+_RPC_SERVICE_PORT = 0x2000
+_TCP_CLIENT_PORT = 6000
+_TCP_SERVER_PORT = 7000
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One traffic flow between two CABs, fully determined by the spec."""
+
+    index: int  # global flow number (port basis)
+    kind: str  # "rmp" | "rpc" | "tcp"
+    src: str  # sending / client CAB name
+    dst: str  # receiving / server CAB name
+    messages: int  # RMP messages, RPC calls, or TCP segments-worth
+    size: int  # bytes per message / call / whole TCP payload
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}-{self.index:02d}"
+
+    def payload(self, message_index: int) -> bytes:
+        """The deterministic body of one message of this flow."""
+        fill = (self.index * 31 + message_index * 7 + 1) % 255 + 1
+        return bytes([fill]) * self.size
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How much of each kind of traffic to generate, and from which seed."""
+
+    seed: int = 0
+    rmp_flows: int = 8
+    rpc_flows: int = 6
+    tcp_flows: int = 4
+    rmp_messages: int = 4
+    rmp_bytes: int = 256
+    rpc_calls: int = 3
+    rpc_bytes: int = 128
+    tcp_bytes: int = 4096
+
+    def flows(self, fleet: FleetSpec) -> tuple:
+        """Expand to concrete flows — a pure function of (self, fleet)."""
+        cabs = fleet.cab_names()
+        if len(cabs) < 2:
+            raise ConfigurationError(
+                f"workload needs at least 2 CABs, fleet has {len(cabs)}"
+            )
+        rng = random.Random(self.seed)
+        flows = []
+        plan = (
+            [("rmp", self.rmp_messages, self.rmp_bytes)] * self.rmp_flows
+            + [("rpc", self.rpc_calls, self.rpc_bytes)] * self.rpc_flows
+            + [("tcp", 1, self.tcp_bytes)] * self.tcp_flows
+        )
+        for index, (kind, messages, size) in enumerate(plan):
+            src = rng.choice(cabs)
+            dst = rng.choice(cabs)
+            while dst == src:
+                dst = rng.choice(cabs)
+            flows.append(
+                Flow(
+                    index=index,
+                    kind=kind,
+                    src=src,
+                    dst=dst,
+                    messages=messages,
+                    size=size,
+                )
+            )
+        return tuple(flows)
+
+
+class Workload:
+    """The installed half (or whole) of a spec's flows on one system.
+
+    After the simulation quiesces, :attr:`flow_results` holds one record per
+    flow whose *observing* endpoint was local, and :meth:`results` packages
+    them with per-node retransmit counters.
+    """
+
+    def __init__(self, spec: WorkloadSpec, fleet: FleetSpec):
+        self.spec = spec
+        self.fleet = fleet
+        self.flows = spec.flows(fleet)
+        #: flow name -> {kind, src, dst, bytes, messages, completed_ns}
+        self.flow_results: Dict[str, dict] = {}
+
+    # -- installation ---------------------------------------------------------
+
+    def install(self, system) -> None:
+        """Wire up every flow half whose CAB has a stack on ``system``."""
+        for flow in self.flows:
+            src = system.nodes.get(flow.src)
+            dst = system.nodes.get(flow.dst)
+            if src is None and dst is None:
+                continue
+            installer = getattr(self, f"_install_{flow.kind}")
+            installer(system, flow, src, dst)
+
+    def _record(self, system, flow: Flow, nbytes: int, messages: int) -> None:
+        self.flow_results[flow.name] = {
+            "kind": flow.kind,
+            "src": flow.src,
+            "dst": flow.dst,
+            "bytes": nbytes,
+            "messages": messages,
+            "completed_ns": system.sim.now,
+        }
+
+    def _install_rmp(self, system, flow: Flow, src, dst) -> None:
+        src_id = system.registry.node_id(flow.src)
+        dst_id = system.registry.node_id(flow.dst)
+        if src is not None:
+            channel = src.rmp.open(
+                _RMP_SRC_PORT + flow.index, dst_id, _RMP_DST_PORT + flow.index
+            )
+
+            def sender():
+                for k in range(flow.messages):
+                    yield from src.rmp.send(channel, flow.payload(k))
+
+            src.runtime.fork_application(sender(), f"{flow.name}-send")
+        if dst is not None:
+            inbox = dst.runtime.mailbox(f"{flow.name}-inbox")
+            dst.rmp.open(
+                _RMP_DST_PORT + flow.index,
+                src_id,
+                _RMP_SRC_PORT + flow.index,
+                deliver_mailbox=inbox,
+            )
+
+            def receiver():
+                total = 0
+                for _ in range(flow.messages):
+                    msg = yield from inbox.begin_get()
+                    total += msg.size
+                    yield from inbox.end_get(msg)
+                self._record(system, flow, total, flow.messages)
+
+            dst.runtime.fork_application(receiver(), f"{flow.name}-recv")
+
+    def _install_rpc(self, system, flow: Flow, src, dst) -> None:
+        dst_id = system.registry.node_id(flow.dst)
+        if dst is not None:
+            service = dst.runtime.mailbox(f"{flow.name}-service")
+            dst.rpc.serve(_RPC_SERVICE_PORT + flow.index, service)
+
+            def server():
+                while True:
+                    msg = yield from service.begin_get()
+                    header = NectarTransportHeader.unpack(
+                        msg.read(0, NectarTransportHeader.SIZE)
+                    )
+                    body = msg.read(NectarTransportHeader.SIZE)
+                    yield from service.end_get(msg)
+                    yield from dst.rpc.respond(header, body)
+
+            dst.runtime.fork_system(server(), f"{flow.name}-serve")
+        if src is not None:
+
+            def client():
+                total = 0
+                for k in range(flow.messages):
+                    reply = yield from src.rpc.request(
+                        _RPC_CLIENT_PORT + flow.index,
+                        dst_id,
+                        _RPC_SERVICE_PORT + flow.index,
+                        flow.payload(k),
+                    )
+                    total += len(reply)
+                self._record(system, flow, total, flow.messages)
+
+            src.runtime.fork_application(client(), f"{flow.name}-client")
+
+    def _install_tcp(self, system, flow: Flow, src, dst) -> None:
+        # The connection is left ESTABLISHED on purpose: with nothing
+        # unacked the timer thread parks on its condition and the queue
+        # drains, while an active close would tick through TIME_WAIT.
+        expected = flow.size
+        if dst is not None:
+            server_inbox = dst.runtime.mailbox(f"{flow.name}-srv")
+            dst.tcp.listen(
+                _TCP_SERVER_PORT + flow.index, lambda conn: server_inbox
+            )
+
+            def collector():
+                total = 0
+                while total < expected:
+                    msg = yield from server_inbox.begin_get()
+                    total += msg.size
+                    yield from server_inbox.end_get(msg)
+                self._record(system, flow, total, 1)
+
+            dst.runtime.fork_application(collector(), f"{flow.name}-collect")
+        if src is not None:
+            dst_ip = self._node_ip(system, flow.dst)
+
+            def client():
+                inbox = src.runtime.mailbox(f"{flow.name}-cli")
+                conn = yield from src.tcp.connect(
+                    _TCP_CLIENT_PORT + flow.index,
+                    dst_ip,
+                    _TCP_SERVER_PORT + flow.index,
+                    inbox,
+                )
+                yield from src.tcp.send_direct(conn, flow.payload(0))
+
+            src.runtime.fork_application(client(), f"{flow.name}-client")
+
+    @staticmethod
+    def _node_ip(system, name: str) -> int:
+        """A CAB's IP address, derivable even when the CAB is a ghost."""
+        node = system.nodes.get(name)
+        if node is not None:
+            return node.ip_address
+        return system.registry.ip_of_name(name)
+
+    # -- results --------------------------------------------------------------
+
+    def results(self, system) -> dict:
+        """Protocol-level results observed on this system.
+
+        ``flows`` covers flows whose observing endpoint is local and
+        finished; ``retransmits`` covers the local nodes.  Shards' results
+        are disjoint and union to the single-process reference's.
+        """
+        retransmits = {}
+        for name in sorted(system.nodes):
+            stats = system.nodes[name].runtime.stats
+            retransmits[name] = {
+                "rmp_retransmits": stats.value("rmp_retransmits"),
+                "rpc_retries": stats.value("rpc_retries"),
+                "tcp_retransmits": stats.value("tcp_retransmits"),
+            }
+        return {
+            "flows": dict(sorted(self.flow_results.items())),
+            "retransmits": retransmits,
+        }
+
+    def incomplete(self, system) -> tuple:
+        """Names of locally-observed flows that never completed."""
+        local = [
+            flow.name
+            for flow in self.flows
+            if self._observer(flow) in system.nodes
+        ]
+        return tuple(
+            name for name in local if name not in self.flow_results
+        )
+
+    @staticmethod
+    def _observer(flow: Flow) -> str:
+        """The CAB that records a flow's completion."""
+        return flow.src if flow.kind == "rpc" else flow.dst

@@ -7,6 +7,21 @@ streams the frame's chunks at fiber line rate into the destination CAB's
 input FIFO — blocking on FIFO space, which is the HUB's low-level flow
 control — and releases the connection at the end of the packet.
 
+Frames whose route stays on one HUB are cut-through switched exactly as
+above.  Frames that cross an *inter-HUB* fiber are handled store-and-forward
+per HUB segment: the frame is serialized onto the inter-hub fiber at line
+rate, and after the fiber propagation delay it is handed to the neighbour
+HUB's forwarding engine, which repeats the process until the final HUB
+streams the frame into the destination CAB's input FIFO.  The hand-off is
+the *shard boundary seam* of the cluster layer (:mod:`repro.cluster`): the
+250 ns fiber propagation delay is a hard lower bound on cross-HUB causality,
+so a partitioned fleet can run each HUB's shard in its own process and
+exchange hand-offs at window barriers without changing any observable
+result.  Hand-off arrivals are scheduled with :meth:`Simulator.call_at`
+under a shard-independent key ``(src hub, out port, per-port seq)`` so the
+interleave at equal nanoseconds is identical whether the neighbour HUB runs
+in this process or in another one.
+
 Fault injectors can corrupt frame bytes on the wire (detected by the
 receiving CAB's hardware CRC check) or drop frames outright, which is what
 makes the transport protocols' retransmission machinery genuinely necessary.
@@ -15,8 +30,9 @@ makes the transport protocols' retransmission machinery genuinely necessary.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, Optional, Protocol
+from typing import Callable, Deque, Dict, Generator, Optional, Protocol, Set
 
 from repro.errors import ConfigurationError, RouteError
 from repro.hub.crossbar import Hub, PortAttachment, PortKind
@@ -26,7 +42,13 @@ from repro.model.costs import CostModel
 from repro.model.stats import StatsRegistry
 from repro.sim.core import Simulator
 
-__all__ = ["CorruptionInjector", "DropInjector", "NectarNetwork", "NetworkNode"]
+__all__ = [
+    "CorruptionInjector",
+    "DropInjector",
+    "Handoff",
+    "NectarNetwork",
+    "NetworkNode",
+]
 
 
 class NetworkNode(Protocol):
@@ -45,6 +67,115 @@ class PathPlan:
     dest: NetworkNode
     setup_ns: int
     propagation_ns: int
+
+
+@dataclass(frozen=True)
+class Handoff:
+    """One frame crossing an inter-HUB fiber, as plain picklable state.
+
+    This is the unit of cross-shard exchange: everything the receiving HUB's
+    forwarding engine needs to continue the frame's journey, with no live
+    object references.  ``key`` is the shard-independent tie-break under
+    which the arrival fires (see :meth:`Simulator.call_at`); ``fire_ns`` is
+    always at least ``fiber_propagation_ns`` after the hand-off was emitted,
+    which is the lookahead the cluster conductor's windows rely on.
+    """
+
+    fire_ns: int
+    key: tuple
+    dst_hub: str
+    #: Output ports still to take, one per remaining HUB.
+    remaining: tuple
+    payload: bytes
+    src: str
+    crc: int
+    seqno: int
+    created_ns: int
+
+
+class _HubForwarder:
+    """Store-and-forward engine of one HUB for inter-hub arrivals.
+
+    Frames arriving on an inter-hub fiber queue per *output* port and are
+    forwarded one at a time under the same output-port arbitration local
+    senders use, so a forwarded frame and a locally-originated frame contend
+    fairly for the port.  A frame bound for a CAB port streams into the
+    CAB's input FIFO at line rate (blocking on FIFO space); a frame bound
+    for another HUB serializes onto that fiber and hands off again.
+    """
+
+    def __init__(self, network: "NectarNetwork", hub: Hub):
+        self.network = network
+        self.hub = hub
+        self._queues: Dict[int, Deque[tuple[tuple, Frame]]] = {}
+        self._active: Set[int] = set()
+
+    def accept(self, remaining: tuple, frame: Frame) -> None:
+        """Event context: queue an arrived frame for its next output port."""
+        if not remaining:
+            raise RouteError(
+                f"{self.hub.name}: frame #{frame.seqno} arrived with an "
+                f"exhausted route"
+            )
+        port = remaining[0]
+        self._queues.setdefault(port, deque()).append((remaining, frame))
+        if port not in self._active:
+            self._active.add(port)
+            self.network.sim.process(
+                self._drain(port), name=f"fwd:{self.hub.name}.{port}"
+            )
+
+    def _drain(self, port: int) -> Generator:
+        queue = self._queues[port]
+        try:
+            while queue:
+                remaining, frame = queue.popleft()
+                yield from self._forward_one(port, remaining, frame)
+        finally:
+            self._active.discard(port)
+
+    def _forward_one(self, port: int, remaining: tuple, frame: Frame) -> Generator:
+        network = self.network
+        costs = network.costs
+        attachment = self.hub.attachment(port)
+        yield self.hub.acquire_output(port)
+        try:
+            if attachment.kind is PortKind.CAB:
+                if len(remaining) != 1:
+                    raise RouteError(
+                        f"{self.hub.name}: route {remaining} reaches a CAB "
+                        f"with hops left"
+                    )
+                yield network.sim.timeout(
+                    costs.hub_hop_ns + costs.fiber_propagation_ns
+                )
+                yield from self._stream_to_cab(attachment.target, frame)
+                network.stats.add("frames_delivered")
+                network.stats.add("bytes_delivered", frame.size)
+            else:
+                if len(remaining) == 1:
+                    raise RouteError(
+                        f"{self.hub.name}: route ends on the inter-hub link "
+                        f"at port {port}"
+                    )
+                yield network.sim.timeout(costs.hub_hop_ns)
+                yield network.sim.timeout(costs.fiber_tx_ns(frame.size))
+                network.stats.add("frames_forwarded")
+                network._handoff(
+                    self.hub, port, attachment.target.name, remaining[1:], frame
+                )
+        finally:
+            self.hub.release_output(port)
+
+    def _stream_to_cab(self, dest: NetworkNode, frame: Frame) -> Generator:
+        dest_fifo = dest.fiber_in.fifo
+        fiber_ns_per_byte = self.network.costs.fiber_ns_per_byte
+        for chunk in frame.chunks():
+            yield dest_fifo.wait_space(chunk.length)
+            yield self.network.sim.timeout(
+                int(round(chunk.length * fiber_ns_per_byte))
+            )
+            dest_fifo.push(chunk)
 
 
 class CorruptionInjector:
@@ -116,6 +247,17 @@ class NectarNetwork:
         #: (wired by NectarSystem); one attribute test per frame when off.
         self.tracer = None
         self._route_cache: Dict[tuple[str, str], tuple[int, ...]] = {}
+        #: Hubs whose forwarding runs in this process.  None means all of
+        #: them (the single-process reference); a cluster shard runner
+        #: narrows it to the shard's own hubs and installs
+        #: :attr:`boundary_egress` for hand-offs that leave the shard.
+        self.local_hubs: Optional[Set[str]] = None
+        #: Called with a :class:`Handoff` for frames crossing a shard cut.
+        self.boundary_egress: Optional[Callable[[Handoff], None]] = None
+        self._forwarders: Dict[str, _HubForwarder] = {}
+        #: Per (hub, out port) hand-off counter: the shard-independent
+        #: tie-break for arrivals scheduled at the same nanosecond.
+        self._handoff_seq: Dict[tuple[str, int], int] = {}
 
     # -- construction -----------------------------------------------------------
 
@@ -223,6 +365,10 @@ class NectarNetwork:
                 # Circuit already holds the crossbar ports: no setup latency.
                 yield self.sim.timeout(plan.propagation_ns)
                 yield from self._stream_frame(node, fifo, chunk, plan)
+                self.stats.add("frames_delivered")
+                self.stats.add("bytes_delivered", frame.size)
+            elif self._crosses_hubs(node, frame):
+                yield from self._tx_to_neighbor_hub(node, fifo, chunk, frame)
             else:
                 plan = self.plan_path(node, frame.route)
                 for hub, port in plan.hops:
@@ -233,8 +379,8 @@ class NectarNetwork:
                 finally:
                     for hub, port in reversed(plan.hops):
                         hub.release_output(port)
-            self.stats.add("frames_delivered")
-            self.stats.add("bytes_delivered", frame.size)
+                self.stats.add("frames_delivered")
+                self.stats.add("bytes_delivered", frame.size)
             if track is not None:
                 tracer.end("hub", "transfer", track=track)
 
@@ -244,6 +390,120 @@ class NectarNetwork:
         if circuit is not None:
             return circuit.plan.dest.name  # type: ignore[attr-defined]
         return self.plan_path(node, frame.route).dest.name
+
+    # -- the inter-hub seam -------------------------------------------------------
+
+    def _crosses_hubs(self, node: NetworkNode, frame: Frame) -> bool:
+        """Whether a frame's first hop leaves the source CAB's HUB."""
+        if not frame.route:
+            return False
+        hub, _port = self.topology.hub_of(node.name)
+        return hub.attachment(frame.route[0]).kind is PortKind.HUB
+
+    def _tx_to_neighbor_hub(self, node, fifo, first_chunk, frame: Frame) -> Generator:
+        """Serialize a cross-hub frame onto its first inter-hub fiber."""
+        hub, _port = self.topology.hub_of(node.name)
+        out_port = frame.route[0]
+        attachment = hub.attachment(out_port)
+        yield hub.acquire_output(out_port)
+        try:
+            yield self.sim.timeout(
+                self.costs.hub_setup_ns + self.costs.fiber_propagation_ns
+            )
+            yield from self._consume_frame(fifo, first_chunk)
+        finally:
+            hub.release_output(out_port)
+        self.stats.add("frames_forwarded")
+        self._handoff(hub, out_port, attachment.target.name, frame.route[1:], frame)
+
+    def _handoff(
+        self,
+        src_hub: Hub,
+        out_port: int,
+        dst_hub_name: str,
+        remaining: tuple,
+        frame: Frame,
+    ) -> None:
+        """Commit a frame to the fiber towards the next HUB.
+
+        Arrival fires ``fiber_propagation_ns`` later under a key derived
+        from the *sending* port — identical whether the receiving HUB is
+        simulated in this process or in another shard.
+        """
+        site = (src_hub.name, out_port)
+        seq = self._handoff_seq.get(site, 0) + 1
+        self._handoff_seq[site] = seq
+        fire_ns = self.sim.now + self.costs.fiber_propagation_ns
+        key = (src_hub.name, out_port, seq)
+        if self.local_hubs is not None and dst_hub_name not in self.local_hubs:
+            if self.boundary_egress is None:
+                raise RouteError(
+                    f"frame #{frame.seqno} crosses the shard cut at "
+                    f"{src_hub.name} port {out_port} but no boundary egress "
+                    f"is installed"
+                )
+            self.stats.add("handoffs_exported")
+            self.boundary_egress(
+                Handoff(
+                    fire_ns=fire_ns,
+                    key=key,
+                    dst_hub=dst_hub_name,
+                    remaining=tuple(remaining),
+                    payload=bytes(frame.payload),
+                    src=frame.src,
+                    crc=frame.crc,
+                    seqno=frame.seqno,
+                    created_ns=frame.created_ns,
+                )
+            )
+            return
+        self._schedule_arrival(dst_hub_name, tuple(remaining), frame, fire_ns, key)
+
+    def _schedule_arrival(
+        self,
+        dst_hub_name: str,
+        remaining: tuple,
+        frame: Frame,
+        fire_ns: int,
+        key: tuple,
+    ) -> None:
+        forwarder = self._forwarders.get(dst_hub_name)
+        if forwarder is None:
+            hub = self.topology.hubs.get(dst_hub_name)
+            if hub is None:
+                raise RouteError(f"hand-off to unknown hub {dst_hub_name!r}")
+            forwarder = _HubForwarder(self, hub)
+            self._forwarders[dst_hub_name] = forwarder
+        self.sim.call_at(
+            fire_ns,
+            lambda: forwarder.accept(remaining, frame),
+            key=key,
+            name=f"arrive:{dst_hub_name}",
+        )
+
+    def inject_handoff(self, handoff: Handoff) -> None:
+        """Deliver a :class:`Handoff` exported by another shard.
+
+        Reconstructs the frame from its plain state and schedules the
+        arrival under the hand-off's original time and key, so the firing
+        order matches the single-process reference bit for bit.
+        """
+        frame = Frame(
+            route=tuple(handoff.remaining),
+            payload=bytearray(handoff.payload),
+            src=handoff.src,
+        )
+        frame.crc = handoff.crc
+        frame.seqno = handoff.seqno
+        frame.created_ns = handoff.created_ns
+        self.stats.add("handoffs_imported")
+        self._schedule_arrival(
+            handoff.dst_hub,
+            tuple(handoff.remaining),
+            frame,
+            handoff.fire_ns,
+            tuple(handoff.key),
+        )
 
     def _stream_frame(self, node, fifo, first_chunk, plan: PathPlan) -> Generator:
         """Push a frame's chunks into the destination FIFO at line rate."""

@@ -28,6 +28,8 @@ class Topology:
         self.cab_ports: Dict[str, tuple[Hub, int]] = {}
         #: (hub name, out port) -> neighbour hub, for HUB-HUB links
         self._hub_links: Dict[tuple[str, int], Hub] = {}
+        #: (hub name, port) -> cab name, the reverse of ``cab_ports``
+        self._cab_at: Dict[tuple[str, int], str] = {}
         self.hubs: Dict[str, Hub] = {}
 
     # -- construction -----------------------------------------------------------
@@ -44,7 +46,19 @@ class Topology:
             raise RouteError(f"CAB {cab_name!r} already placed")
         if hub.name not in self.hubs:
             self.add_hub(hub)
+        key = (hub.name, port)
+        if key in self._hub_links:
+            raise RouteError(
+                f"cannot place CAB {cab_name!r} on {hub.name} port {port}: "
+                f"port carries an inter-hub link to {self._hub_links[key].name}"
+            )
+        if key in self._cab_at:
+            raise RouteError(
+                f"cannot place CAB {cab_name!r} on {hub.name} port {port}: "
+                f"port already occupied by CAB {self._cab_at[key]!r}"
+            )
         self.cab_ports[cab_name] = (hub, port)
+        self._cab_at[key] = cab_name
 
     def link_hubs(self, hub_a: Hub, port_a: int, hub_b: Hub, port_b: int) -> None:
         """Record an inter-HUB fiber pair between two ports."""
@@ -55,6 +69,12 @@ class Topology:
         key_b = (hub_b.name, port_b)
         if key_a in self._hub_links or key_b in self._hub_links:
             raise RouteError("hub port already used by another inter-hub link")
+        for key in (key_a, key_b):
+            if key in self._cab_at:
+                raise RouteError(
+                    f"cannot link {key[0]} port {key[1]} to another hub: "
+                    f"port already occupied by CAB {self._cab_at[key]!r}"
+                )
         self._hub_links[key_a] = hub_b
         self._hub_links[key_b] = hub_a
 

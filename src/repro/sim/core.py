@@ -17,6 +17,16 @@ The kernel is deliberately small and deterministic:
 Events scheduled for the same nanosecond fire in the order they were
 scheduled (a monotonically increasing sequence number breaks ties), so runs
 are bit-for-bit reproducible.
+
+For sharded (multi-process) simulation the scheduling-order tie-break is not
+enough: an event injected from *another* shard has no meaningful local
+scheduling order.  Such events are scheduled in a separate *band* with an
+explicit, shard-independent sort key: queue entries order by
+``(time, band, key, seq)``, ordinary events use band 0 with an empty key,
+and keyed events (:meth:`Simulator.call_at`) use band 1.  Two runs that
+schedule the same keyed events for the same nanosecond therefore fire them
+in the same order no matter which process scheduled them first — the
+property the cluster layer's cross-shard frame exchange relies on.
 """
 
 from __future__ import annotations
@@ -307,7 +317,7 @@ class Simulator:
 
     def __init__(self):
         self.now: int = 0
-        self._queue: list[tuple[int, int, Event]] = []
+        self._queue: list[tuple[int, int, tuple, int, Event]] = []
         self._seq = 0
         self._running = False
         self._failures: list[Process] = []
@@ -340,11 +350,44 @@ class Simulator:
 
     # -- scheduling -----------------------------------------------------------
 
-    def _schedule(self, delay: int, event: Event) -> None:
+    def _schedule(
+        self, delay: int, event: Event, band: int = 0, key: tuple = ()
+    ) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay} ns in the past")
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + int(delay), self._seq, event))
+        heapq.heappush(
+            self._queue, (self.now + int(delay), band, key, self._seq, event)
+        )
+
+    def call_at(
+        self, at_ns: int, fn: Callable[[], None], key: tuple, name: str = "keyed"
+    ) -> Event:
+        """Schedule ``fn`` at absolute time ``at_ns`` with a stable sort key.
+
+        Keyed calls fire *after* every ordinary event of the same nanosecond
+        (band 1 sorts after band 0) and order among themselves by ``key``,
+        not by scheduling order.  This is the injection point for events
+        whose cause lives outside this simulator — e.g. a frame arriving
+        from another shard of a partitioned fleet — and it is also used for
+        the local version of the same hand-off so that sharded and
+        single-process runs interleave identically.
+        """
+        at_ns = int(at_ns)
+        if at_ns < self.now:
+            raise SimulationError(
+                f"call_at({at_ns}) is in the past (now={self.now})"
+            )
+        event = Event(self, name=name)
+        event.callbacks.append(lambda _ev: fn())
+        event._state = _TRIGGERED
+        self._seq += 1
+        heapq.heappush(self._queue, (at_ns, 1, tuple(key), self._seq, event))
+        return event
+
+    def peek_next_time(self) -> Optional[int]:
+        """The timestamp of the earliest queued event (None when idle)."""
+        return self._queue[0][0] if self._queue else None
 
     # -- execution ------------------------------------------------------------
 
@@ -352,7 +395,7 @@ class Simulator:
         """Fire the next event.  Returns False when the queue is empty."""
         if not self._queue:
             return False
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _band, _key, _seq, event = heapq.heappop(self._queue)
         if when < self.now:  # pragma: no cover - guarded by _schedule
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = when

@@ -155,6 +155,22 @@ class NectarSystem:
             self.telemetry.attach_node(node)
         return node
 
+    def add_remote_node(self, name: str, hub: Hub, port: int) -> int:
+        """Register a CAB that is simulated by another shard (a *ghost*).
+
+        The ghost gets its node id and IP (keeping id assignment identical
+        across every shard of a partitioned fleet) and its topology
+        placement (so source routes to it resolve), but no CAB hardware, no
+        protocol stack, and no link process — frames bound for it leave
+        this shard through the network's boundary seam.  Returns the node
+        id.  Call in the same global construction order on every shard.
+        """
+        if name in self.nodes:
+            raise ConfigurationError(f"node {name!r} already exists locally")
+        node_id = self.registry.register(name)
+        self.network.topology.place_cab(name, hub, port)
+        return node_id
+
     def attach_fault_plan(self, plan):
         """Install a :class:`~repro.faults.plan.FaultPlan` on this system.
 

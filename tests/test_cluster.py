@@ -1,0 +1,230 @@
+"""Unit tests for the repro.cluster building blocks.
+
+Fleet generators, the partitioner, workload determinism, telemetry merge,
+and the conductor's failure modes.  The headline parity guarantee has its
+own file (test_cluster_parity.py).
+"""
+
+import pytest
+
+from repro.cluster.conductor import Conductor, run_reference
+from repro.cluster.fleet import (
+    FleetSpec,
+    build_fleet_system,
+    build_shard_system,
+    fat_tree_fleet,
+    line_fleet,
+    make_fleet,
+    star_fleet,
+)
+from repro.cluster.merge import merge_metrics, merge_traces, merged_metrics_json
+from repro.cluster.partition import Partitioner
+from repro.cluster.workload import WorkloadSpec
+from repro.errors import ConfigurationError
+
+
+class TestFleetSpec:
+    def test_line_fleet_shape(self):
+        spec = line_fleet(4, 3, hub_ports=8)
+        assert len(spec.hubs) == 4
+        assert len(spec.links) == 3
+        assert len(spec.cabs) == 12
+        assert spec.cab_names()[0] == "cab-00-00"
+        assert spec.cabs_on(["hub02"]) == ("cab-02-00", "cab-02-01", "cab-02-02")
+
+    def test_star_fleet_shape(self):
+        spec = star_fleet(3, 2, hub_ports=8)
+        assert spec.hubs == ("hub00", "hub01", "hub02", "hub03")
+        assert len(spec.links) == 3
+        assert all(hub != "hub00" for _name, hub, _port in spec.cabs)
+
+    def test_fat_tree_fleet_shape(self):
+        spec = fat_tree_fleet(2, 3, 2, hub_ports=8)
+        assert len(spec.hubs) == 5
+        assert len(spec.links) == 6  # every leaf to every spine
+        assert len(spec.cabs) == 6
+
+    def test_generators_validate_port_budget(self):
+        with pytest.raises(ConfigurationError):
+            line_fleet(3, 15, hub_ports=16)  # 2 ports reserved for fibers
+        with pytest.raises(ConfigurationError):
+            star_fleet(17, 1, hub_ports=16)  # too many leaves for the center
+        with pytest.raises(ConfigurationError):
+            fat_tree_fleet(4, 2, 13, hub_ports=16)  # CABs + uplinks > ports
+
+    def test_make_fleet_dispatch(self):
+        assert len(make_fleet("line", 3, 2).hubs) == 3
+        assert len(make_fleet("star", 4, 2).hubs) == 4  # 1 center + 3 leaves
+        assert len(make_fleet("fat-tree", 5, 2).hubs) == 5
+        with pytest.raises(ConfigurationError, match="unknown fleet shape"):
+            make_fleet("ring", 4, 2)
+
+    def test_fleet_system_builds_and_routes(self):
+        spec = line_fleet(3, 2, hub_ports=8)
+        system = build_fleet_system(spec)
+        assert len(system.nodes) == 6
+        assert len(system.hubs) == 3
+
+    def test_shard_system_has_ghosts(self):
+        spec = line_fleet(3, 2, hub_ports=8)
+        shard = build_shard_system(spec, ["hub00"])
+        # Stacks only on hub00's CABs; everyone still has a node id.
+        assert sorted(shard.nodes) == ["cab-00-00", "cab-00-01"]
+        assert shard.registry.node_id("cab-02-01") == 6
+        assert shard.network.local_hubs == frozenset(["hub00"])
+        # Ghost placement resolves routes from local CABs.
+        assert shard.network.topology.compute_route("cab-00-00", "cab-02-00")
+
+    def test_shard_system_node_ids_match_reference(self):
+        spec = line_fleet(3, 2, hub_ports=8)
+        reference = build_fleet_system(spec)
+        shard = build_shard_system(spec, ["hub01"])
+        for name, _hub, _port in spec.cabs:
+            assert shard.registry.node_id(name) == reference.registry.node_id(name)
+
+    def test_shard_system_rejects_unknown_hub(self):
+        with pytest.raises(ConfigurationError, match="unknown hubs"):
+            build_shard_system(line_fleet(2, 1, hub_ports=8), ["hub09"])
+
+
+class TestPartitioner:
+    def test_contiguous_partition(self):
+        spec = line_fleet(5, 1, hub_ports=8)
+        partition = Partitioner.partition(spec, 2)
+        assert partition.shards == (("hub00", "hub01", "hub02"), ("hub03", "hub04"))
+        assert partition.shard_of("hub03") == 1
+
+    def test_round_robin_partition(self):
+        spec = line_fleet(4, 1, hub_ports=8)
+        partition = Partitioner.partition(spec, 2, strategy="round-robin")
+        assert partition.shards == (("hub00", "hub02"), ("hub01", "hub03"))
+
+    def test_cut_links_counts_severed_fibers(self):
+        spec = line_fleet(4, 1, hub_ports=8)
+        contiguous = Partitioner.partition(spec, 2)
+        assert len(Partitioner.cut_links(spec, contiguous)) == 1
+        scattered = Partitioner.partition(spec, 2, strategy="round-robin")
+        assert len(Partitioner.cut_links(spec, scattered)) == 3
+
+    def test_partition_validation(self):
+        spec = line_fleet(2, 1, hub_ports=8)
+        with pytest.raises(ConfigurationError):
+            Partitioner.partition(spec, 0)
+        with pytest.raises(ConfigurationError):
+            Partitioner.partition(spec, 3)
+        with pytest.raises(ConfigurationError, match="unknown partition strategy"):
+            Partitioner.partition(spec, 2, strategy="metis")
+
+
+class TestWorkloadSpec:
+    def test_flows_are_deterministic_in_the_seed(self):
+        fleet = line_fleet(3, 4, hub_ports=8)
+        spec = WorkloadSpec(seed=42)
+        assert spec.flows(fleet) == spec.flows(fleet)
+        assert spec.flows(fleet) != WorkloadSpec(seed=43).flows(fleet)
+
+    def test_flows_have_distinct_endpoints_and_kinds(self):
+        fleet = line_fleet(3, 4, hub_ports=8)
+        flows = WorkloadSpec(seed=5).flows(fleet)
+        assert len(flows) == 18
+        assert all(flow.src != flow.dst for flow in flows)
+        kinds = {flow.kind for flow in flows}
+        assert kinds == {"rmp", "rpc", "tcp"}
+
+    def test_payloads_are_deterministic(self):
+        fleet = line_fleet(2, 2, hub_ports=8)
+        flow = WorkloadSpec(seed=1).flows(fleet)[0]
+        assert flow.payload(0) == flow.payload(0)
+        assert len(flow.payload(1)) == flow.size
+
+    def test_needs_two_cabs(self):
+        with pytest.raises(ConfigurationError, match="at least 2 CABs"):
+            WorkloadSpec().flows(line_fleet(1, 1, hub_ports=8))
+
+
+class TestMerge:
+    def test_counters_add_and_gauges_max(self):
+        left = {
+            "net.frames": {"type": "counter", "value": 3},
+            "sim.elapsed_ns": {"type": "gauge", "value": 100},
+        }
+        right = {
+            "net.frames": {"type": "counter", "value": 4},
+            "sim.elapsed_ns": {"type": "gauge", "value": 90},
+            "cab-x.rmp_data_in": {"type": "counter", "value": 2},
+        }
+        merged = merge_metrics([left, right])
+        assert merged["net.frames"]["value"] == 7
+        assert merged["sim.elapsed_ns"]["value"] == 100
+        assert merged["cab-x.rmp_data_in"]["value"] == 2
+
+    def test_histograms_add_elementwise(self):
+        histogram = lambda counts, count: {
+            "type": "histogram",
+            "value": {"counts": counts, "count": count},
+        }
+        merged = merge_metrics(
+            [
+                {"span.x": histogram([1, 0, 2], 3)},
+                {"span.x": histogram([0, 4, 1], 5)},
+            ]
+        )
+        assert merged["span.x"]["value"] == {"counts": [1, 4, 3], "count": 8}
+
+    def test_kind_mismatch_is_an_error(self):
+        with pytest.raises(ValueError, match="kind mismatch"):
+            merge_metrics(
+                [
+                    {"x": {"type": "counter", "value": 1}},
+                    {"x": {"type": "gauge", "value": 1}},
+                ]
+            )
+
+    def test_trace_pids_are_namespaced_per_shard(self):
+        shard0 = [{"ph": "B", "name": "a", "ts": 2.0, "pid": 1, "tid": 1}]
+        shard1 = [{"ph": "B", "name": "b", "ts": 1.0, "pid": 1, "tid": 1}]
+        merged = merge_traces([shard0, shard1])
+        assert [record["name"] for record in merged] == ["b", "a"]
+        assert {record["pid"] for record in merged} == {1, 10001}
+
+    def test_merged_metrics_json_is_byte_stable(self):
+        snapshots = [{"b": {"type": "counter", "value": 1}, "a": {"type": "gauge", "value": 2}}]
+        assert merged_metrics_json(snapshots) == merged_metrics_json(snapshots)
+
+
+SMALL_FLEET = line_fleet(3, 2, hub_ports=8)
+SMALL_LOAD = WorkloadSpec(seed=3, rmp_flows=2, rpc_flows=1, tcp_flows=1, tcp_bytes=1024)
+
+
+class TestConductor:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="unknown conductor mode"):
+            Conductor(SMALL_FLEET, SMALL_LOAD, mode="threads")
+
+    def test_limit_ns_catches_runaway_fleets(self):
+        conductor = Conductor(SMALL_FLEET, SMALL_LOAD, n_workers=2, limit_ns=1000)
+        with pytest.raises(RuntimeError, match="past limit"):
+            conductor.run()
+
+    def test_all_flows_complete(self):
+        result = Conductor(SMALL_FLEET, SMALL_LOAD, n_workers=3).run()
+        assert result.incomplete == []
+        assert len(result.flows) == 4
+        assert result.barriers > 0
+        for record in result.flows.values():
+            assert record["bytes"] > 0
+            assert record["completed_ns"] > 0
+
+    def test_telemetry_merge_spans_shards(self):
+        result = Conductor(SMALL_FLEET, SMALL_LOAD, n_workers=3, telemetry=True).run()
+        assert result.metrics is not None and result.trace is not None
+        # Every CAB's stack reported through exactly one shard.
+        for name, _hub, _port in SMALL_FLEET.cabs:
+            assert f"{name}.cpu.busy_ns" in result.metrics
+        assert result.metrics["sim.elapsed_ns"]["value"] == result.sim_ns
+
+    def test_reference_runs_whole_fleet(self):
+        result = run_reference(SMALL_FLEET, SMALL_LOAD)
+        assert result.n_workers == 0
+        assert result.incomplete == []
+        assert len(result.retransmits) == len(SMALL_FLEET.cabs)

@@ -1,0 +1,77 @@
+"""The tentpole guarantee: sharded runs are bit-identical to the reference.
+
+A 4-HUB / 64-CAB fleet under mixed RMP + RPC + TCP traffic must produce the
+same protocol-level results — delivered bytes, per-flow message counts,
+per-node retransmit counters, and completion times — whether the fleet runs
+in one Simulator, as one shard behind the conductor, or split four ways,
+for every seed.  See docs/scaling.md for why this holds by construction.
+"""
+
+import pytest
+
+from repro.cluster.conductor import Conductor, run_reference
+from repro.cluster.fleet import line_fleet, star_fleet
+from repro.cluster.workload import WorkloadSpec
+
+# The acceptance rig: 4 HUBs in a line, 16 CABs each.
+FLEET = line_fleet(4, 16, hub_ports=18)
+SEEDS = [0, 1, 2]
+
+
+def mixed_workload(seed: int) -> WorkloadSpec:
+    return WorkloadSpec(seed=seed)  # 8 RMP + 6 RPC + 4 TCP flows
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_runs_match_reference_bit_for_bit(seed):
+    workload = mixed_workload(seed)
+    reference = run_reference(FLEET, workload)
+    assert reference.incomplete == []
+    assert len(reference.flows) == 18
+    digest = reference.protocol_digest()
+    for n_workers in (1, 4):
+        result = Conductor(FLEET, workload, n_workers=n_workers).run()
+        assert result.protocol_digest() == digest, (
+            f"seed {seed}, {n_workers} workers diverged from the reference"
+        )
+
+
+def test_worker_count_does_not_change_results():
+    workload = mixed_workload(7)
+    digests = {
+        n: Conductor(FLEET, workload, n_workers=n).run().protocol_digest()
+        for n in (1, 2, 4)
+    }
+    assert digests[1] == digests[2] == digests[4]
+
+
+def test_process_mode_matches_inline_mode():
+    """The multiprocessing path changes wall-clock only, never results."""
+    fleet = line_fleet(4, 4, hub_ports=8)
+    workload = WorkloadSpec(seed=9, rmp_flows=3, rpc_flows=2, tcp_flows=1, tcp_bytes=2048)
+    inline = Conductor(fleet, workload, n_workers=4, mode="inline").run()
+    process = Conductor(fleet, workload, n_workers=4, mode="process").run()
+    assert inline.protocol_digest() == process.protocol_digest()
+    assert inline.barriers == process.barriers
+    assert inline.events == process.events
+
+
+def test_partition_strategy_does_not_change_results():
+    fleet = star_fleet(4, 4, hub_ports=8)
+    workload = WorkloadSpec(seed=11, rmp_flows=3, rpc_flows=2, tcp_flows=1, tcp_bytes=2048)
+    contiguous = Conductor(fleet, workload, n_workers=3, strategy="contiguous").run()
+    scattered = Conductor(fleet, workload, n_workers=3, strategy="round-robin").run()
+    assert contiguous.protocol_digest() == scattered.protocol_digest()
+
+
+def test_completion_times_are_plausible():
+    """Parity aside, the merged records must be self-consistent."""
+    workload = mixed_workload(0)
+    result = Conductor(FLEET, workload, n_workers=4).run()
+    assert result.incomplete == []
+    for name, record in result.flows.items():
+        assert 0 < record["completed_ns"] <= result.sim_ns, name
+    rmp_bytes = [r["bytes"] for r in result.flows.values() if r["kind"] == "rmp"]
+    assert all(b == workload.rmp_messages * workload.rmp_bytes for b in rmp_bytes)
+    tcp_bytes = [r["bytes"] for r in result.flows.values() if r["kind"] == "tcp"]
+    assert all(b == workload.tcp_bytes for b in tcp_bytes)

@@ -62,3 +62,29 @@ def test_set_iteration_in_telemetry_gets_the_sensitive_rules():
     relaxed = nectarlint.lint_source(source, path="src/repro/bench/x.py")
     assert any(finding.code == "ND004" for finding in sensitive), sensitive
     assert not any(finding.code == "ND004" for finding in relaxed), relaxed
+
+
+def test_cluster_package_is_simulation_sensitive():
+    """Cross-shard determinism hinges on ordering, so cluster is strict."""
+    assert "cluster" in nectarlint.SENSITIVE_PARTS
+    assert nectarlint._is_sensitive("src/repro/cluster/conductor.py")
+
+
+def test_cluster_package_is_lint_clean():
+    findings = nectarlint.lint_paths([str(SRC / "repro" / "cluster")])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"nectarlint findings in repro.cluster:\n{rendered}"
+
+
+def test_wall_clock_in_cluster_barrier_path_is_flagged():
+    source = "import time\n\n\ndef window_start():\n    return time.monotonic_ns()\n"
+    findings = nectarlint.lint_source(source, path="src/repro/cluster/conductor.py")
+    assert any(finding.code == "ND001" for finding in findings), findings
+
+
+def test_set_iteration_in_cluster_gets_the_sensitive_rules():
+    source = "def shard_hubs(hubs):\n    return [h for h in set(hubs)]\n"
+    sensitive = nectarlint.lint_source(source, path="src/repro/cluster/partition.py")
+    relaxed = nectarlint.lint_source(source, path="src/repro/bench/x.py")
+    assert any(finding.code == "ND004" for finding in sensitive), sensitive
+    assert not any(finding.code == "ND004" for finding in relaxed), relaxed

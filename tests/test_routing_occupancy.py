@@ -1,0 +1,59 @@
+"""Regression: Topology port-occupancy validation.
+
+A (hub, port) can carry either one CAB's fibers or one inter-HUB link,
+never both and never two of either.  These used to be silently accepted,
+producing routes through ports whose attachment disagreed with the wiring
+graph.
+"""
+
+import pytest
+
+from repro.errors import RouteError
+from repro.hub.crossbar import Hub
+from repro.hub.routing import Topology
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    topology = Topology()
+    hub_a = Hub(sim, "hub-a", ports=8)
+    hub_b = Hub(sim, "hub-b", ports=8)
+    topology.add_hub(hub_a)
+    topology.add_hub(hub_b)
+    return topology, hub_a, hub_b
+
+
+def test_place_cab_rejects_port_with_inter_hub_link(rig):
+    topology, hub_a, hub_b = rig
+    topology.link_hubs(hub_a, 7, hub_b, 7)
+    with pytest.raises(RouteError, match="carries an inter-hub link to hub-b"):
+        topology.place_cab("cab-x", hub_a, 7)
+    # The other endpoint is equally taken.
+    with pytest.raises(RouteError, match="carries an inter-hub link to hub-a"):
+        topology.place_cab("cab-x", hub_b, 7)
+
+
+def test_link_hubs_rejects_cab_occupied_port(rig):
+    topology, hub_a, hub_b = rig
+    topology.place_cab("cab-x", hub_a, 3)
+    with pytest.raises(RouteError, match="already occupied by CAB 'cab-x'"):
+        topology.link_hubs(hub_a, 3, hub_b, 7)
+    with pytest.raises(RouteError, match="already occupied by CAB 'cab-x'"):
+        topology.link_hubs(hub_b, 7, hub_a, 3)
+
+
+def test_place_cab_rejects_port_with_other_cab(rig):
+    topology, hub_a, _hub_b = rig
+    topology.place_cab("cab-x", hub_a, 0)
+    with pytest.raises(RouteError, match="already occupied by CAB 'cab-x'"):
+        topology.place_cab("cab-y", hub_a, 0)
+
+
+def test_valid_placements_still_accepted(rig):
+    topology, hub_a, hub_b = rig
+    topology.link_hubs(hub_a, 7, hub_b, 7)
+    topology.place_cab("cab-x", hub_a, 0)
+    topology.place_cab("cab-y", hub_b, 0)
+    assert topology.compute_route("cab-x", "cab-y") == (7, 0)

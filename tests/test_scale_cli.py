@@ -1,0 +1,90 @@
+"""The ``python -m repro scale`` CLI and its BENCH_scale.json contract."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster import cli
+from repro.cluster.bench import render_bench_json, run_scale_bench
+from repro.cluster.fleet import line_fleet
+from repro.cluster.workload import WorkloadSpec
+
+FLEET = line_fleet(3, 2, hub_ports=8)
+LOAD = WorkloadSpec(seed=4, rmp_flows=2, rpc_flows=1, tcp_flows=1, tcp_bytes=1024)
+
+
+def small_args(*extra):
+    return [
+        "--hubs", "3", "--cabs-per-hub", "2", "--hub-ports", "8",
+        "--mode", "inline", *extra,
+    ]
+
+
+class TestBenchReport:
+    def test_deterministic_section_is_byte_stable(self):
+        first = run_scale_bench(FLEET, LOAD, workers=[1, 2], mode="inline")
+        second = run_scale_bench(FLEET, LOAD, workers=[1, 2], mode="inline")
+        stable = lambda report: json.dumps(
+            {"config": report["config"], "deterministic": report["deterministic"]},
+            sort_keys=True,
+        )
+        assert stable(first) == stable(second)
+        # Wall-clock lives only in the quarantined section.
+        assert "wall_ns" not in json.dumps(first["deterministic"])
+
+    def test_report_records_parity_and_speedup(self):
+        report = run_scale_bench(FLEET, LOAD, workers=[1, 2], mode="inline")
+        assert report["deterministic"]["parity"] is True
+        workers = report["measured"]["workers"]
+        assert workers["1"]["speedup_vs_1worker"] == 1.0
+        assert workers["2"]["events_per_sec"] > 0
+
+    def test_render_is_byte_stable_for_a_given_report(self):
+        report = run_scale_bench(FLEET, LOAD, workers=[1], mode="inline")
+        assert render_bench_json(report) == render_bench_json(report)
+        assert render_bench_json(report).endswith("\n")
+
+
+class TestScaleCLI:
+    def test_default_run_exits_zero(self, capsys):
+        assert cli.main(small_args("--workers", "2")) == 0
+        out = capsys.readouterr().out
+        assert "flows complete" in out
+
+    def test_parity_mode_passes(self, capsys):
+        assert cli.main(small_args("--parity", "--workers", "1,2", "--seeds", "4,5")) == 0
+        out = capsys.readouterr().out
+        assert "parity: PASS" in out
+        assert "identical" in out
+
+    def test_bench_mode_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_scale.json"
+        assert cli.main(
+            small_args("--bench", "--workers", "1,2", "--json", str(target))
+        ) == 0
+        report = json.loads(target.read_text())
+        assert report["bench"] == "scale"
+        assert report["deterministic"]["parity"] is True
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_without_json_prints_report(self, capsys):
+        assert cli.main(small_args("--bench", "--workers", "1")) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["cabs"] == 6
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--shape", "ring"])
+
+
+class TestCommittedBaseline:
+    def test_bench_scale_json_exists_and_parses(self):
+        path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+        report = json.loads(path.read_text())
+        assert report["bench"] == "scale"
+        assert report["deterministic"]["parity"] is True
+        assert set(report["deterministic"]["workers"]) == {"1", "4"}
+        assert report["config"]["cabs"] == 64
+        # The committed file is in canonical serialization.
+        assert path.read_text() == render_bench_json(report)

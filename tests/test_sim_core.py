@@ -274,3 +274,64 @@ def test_deadlock_detected_by_run_process():
 
     with pytest.raises(SimulationError, match="blocked"):
         sim.run_process(stuck())
+
+
+# -- keyed (band-1) events: the cross-shard injection point --------------------
+
+
+def test_call_at_fires_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.call_at(500, lambda: fired.append(sim.now), key=("a",))
+    sim.run()
+    assert fired == [500]
+
+
+def test_call_at_orders_by_key_not_scheduling_order():
+    sim = Simulator()
+    fired = []
+    # Scheduled in the opposite of key order, same nanosecond.
+    sim.call_at(100, lambda: fired.append("b"), key=("hub-b", 1, 1))
+    sim.call_at(100, lambda: fired.append("a"), key=("hub-a", 1, 1))
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_keyed_events_fire_after_ordinary_events_of_same_ns():
+    sim = Simulator()
+    fired = []
+    sim.call_at(100, lambda: fired.append("keyed"), key=())
+
+    def body():
+        yield sim.timeout(100)
+        fired.append("ordinary")
+
+    sim.process(body())
+    sim.run()
+    assert fired == ["ordinary", "keyed"]
+
+
+def test_call_at_rejects_the_past():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1_000)
+
+    sim.run_process(body())
+    with pytest.raises(SimulationError, match="in the past"):
+        sim.call_at(500, lambda: None, key=())
+
+
+def test_peek_next_time():
+    sim = Simulator()
+    assert sim.peek_next_time() is None
+    sim.call_at(300, lambda: None, key=())
+
+    def body():
+        yield sim.timeout(700)
+
+    sim.process(body())
+    assert sim.peek_next_time() == 0  # the process's start event
+    sim.run()
+    assert sim.peek_next_time() is None
+    assert sim.now == 700
