@@ -7,6 +7,7 @@ Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
         python -m repro  observe [--workload NAME] [--trace FILE] [--metrics FILE]
         python -m repro  scale [--shape S] [--hubs N] [--workers LIST]
                                [--parity] [--bench] [--json FILE]
+        python -m repro  bench buf [--check | --write] [--json FILE]
 
 ``lint`` runs nectarlint, the static determinism/sim-safety checker
 (see :mod:`repro.analysis.nectarlint`); ``analyze`` runs the dynamic
@@ -16,7 +17,9 @@ sanitizer + determinism harness (see :mod:`repro.analysis.driver`);
 telemetry plane on and exports Perfetto traces, metrics, and cycle
 profiles (see :mod:`repro.telemetry.observe`); ``scale`` runs a
 fleet-scale topology sharded across worker processes
-(see :mod:`repro.cluster`).
+(see :mod:`repro.cluster`); ``bench buf`` runs the zero-copy buffer-plane
+benchmark and gates its host-copy counters against ``BENCH_buf.json``
+(see :mod:`repro.buf.bench`).
 """
 
 from __future__ import annotations
@@ -56,6 +59,14 @@ def main(argv: list[str]) -> int:
         from repro.cluster import cli
 
         return cli.main(argv[1:])
+    if argv and argv[0] == "bench":
+        if len(argv) < 2 or argv[1] != "buf":
+            print("usage: python -m repro bench buf [--check | --write] "
+                  "[--json FILE]", file=sys.stderr)
+            return 2
+        from repro.buf import bench
+
+        return bench.main(argv[2:])
     targets = argv or ["all"]
     names = list(_EXPERIMENTS) if targets == ["all"] else targets
     for name in names:

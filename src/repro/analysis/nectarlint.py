@@ -16,6 +16,12 @@ Scope notes
   drivers may freely iterate sets for reporting.
 * NS101/NS102 (generator misuse) apply everywhere: the thread-context API
   is the same in apps as in the runtime.
+* NB201 (payload materialization) applies only inside *data-path* packages
+  — path components named ``hw``, ``protocols``, ``hub``, ``runtime`` or
+  ``buf`` — where frame/message payloads must travel as views
+  (docs/buffers.md).  Tests, apps and process-boundary serialization
+  legitimately materialize; boundary sites in data-path code carry a
+  ``# nectarlint: disable=NB201`` with a justifying note.
 
 Usage: ``python -m repro lint src/repro [--strict] [--format json]``.
 """
@@ -48,6 +54,17 @@ SENSITIVE_PARTS = (
     "model",
     "telemetry",
     "cluster",
+    "buf",
+)
+
+#: Path components marking zero-copy data-path code: frame/message payloads
+#: must travel as repro.buf views there, never materialized copies (NB201).
+DATA_PATH_PARTS = (
+    "hw",
+    "protocols",
+    "hub",
+    "runtime",
+    "buf",
 )
 
 #: Wall-clock callables (matched against the trailing two dotted components).
@@ -160,6 +177,10 @@ _I_PREFIXED_BODIES = {
 #: engine raises on everything else — NS102 catches it statically).
 _FORBIDDEN_HANDLER_OPS = {"Block", "YieldCPU", "SetMask"}
 
+#: Method names whose results are payload bytes/views: feeding one into
+#: bytes()/bytearray() inside data-path code materializes a copy (NB201).
+_PAYLOAD_PRODUCERS = {"read", "view", "mv", "chunk_bytes", "tobytes"}
+
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
     """'a.b.c' for a Name/Attribute chain, else None."""
@@ -215,6 +236,27 @@ def _has_unwrapped_float(node: ast.AST) -> bool:
     return False
 
 
+def _touches_payload(node: ast.AST) -> bool:
+    """Whether an expression reads frame/message payload bytes.
+
+    Matches ``x.payload`` / bare ``payload`` references and calls of the
+    payload-producing accessors (``.read()``, ``.view()``, ``.mv()``,
+    ``.chunk_bytes()``, ``.tobytes()``) anywhere inside the expression.
+    """
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr == "payload":
+            return True
+        if isinstance(child, ast.Name) and child.id == "payload":
+            return True
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in _PAYLOAD_PRODUCERS
+        ):
+            return True
+    return False
+
+
 def _is_handler_context(name: str) -> bool:
     """Whether a function name marks interrupt-handler context."""
     if name.endswith(_HANDLER_SUFFIXES):
@@ -227,9 +269,12 @@ def _is_handler_context(name: str) -> bool:
 class _Checker(ast.NodeVisitor):
     """One pass over a module's AST, collecting findings."""
 
-    def __init__(self, path: str, sensitive: bool, tree: ast.Module):
+    def __init__(
+        self, path: str, sensitive: bool, tree: ast.Module, data_path: bool = False
+    ):
         self.path = path
         self.sensitive = sensitive
+        self.data_path = data_path
         self.findings: List[Finding] = []
         #: Names (plain and ``self.x``) annotated as sets anywhere in the
         #: file — a cheap whole-file symbol table for ND004.
@@ -316,6 +361,20 @@ class _Checker(ast.NodeVisitor):
                         "ND002",
                         "random.Random() without a seed; pass an explicit seed",
                     )
+        # NB201: materializing payload bytes in data-path code.
+        if (
+            self.data_path
+            and dotted in ("bytes", "bytearray")
+            and node.args
+            and any(_touches_payload(arg) for arg in node.args)
+        ):
+            self._emit(
+                node,
+                "NB201",
+                f"{dotted}(...) materializes a payload copy in data-path "
+                f"code; pass the view (docs/buffers.md), or suppress with a "
+                f"note at a true process boundary",
+            )
         # Set.pop() returns an arbitrary element.
         if (
             self.sensitive
@@ -479,16 +538,24 @@ def _is_sensitive(path: str) -> bool:
     return any(part in SENSITIVE_PARTS for part in parts)
 
 
+def _is_data_path(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    return any(part in DATA_PATH_PARTS for part in parts)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     sensitive: Optional[bool] = None,
     select: Optional[set] = None,
     ignore: Optional[set] = None,
+    data_path: Optional[bool] = None,
 ) -> List[Finding]:
     """Lint one source string; returns surviving findings."""
     if sensitive is None:
         sensitive = _is_sensitive(path)
+    if data_path is None:
+        data_path = _is_data_path(path)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -502,7 +569,7 @@ def lint_source(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    checker = _Checker(path, sensitive, tree)
+    checker = _Checker(path, sensitive, tree, data_path=data_path)
     checker.visit(tree)
     checker.findings.sort(key=lambda f: (f.line, f.col, f.code))
     return filter_findings(

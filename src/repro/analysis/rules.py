@@ -1,8 +1,9 @@
 """The nectarlint rule framework: registry, findings, suppressions.
 
 Every rule has a stable code (``ND0xx`` for determinism hazards, ``NS1xx``
-for simulated-concurrency/sim-safety hazards), a one-line summary, and the
-paper section whose invariant it protects.  The AST checks themselves live
+for simulated-concurrency/sim-safety hazards, ``NB2xx`` for buffer-plane
+hazards), a one-line summary, and the paper section whose invariant it
+protects.  The AST checks themselves live
 in :mod:`repro.analysis.nectarlint`; this module is pure bookkeeping so the
 rule table can be rendered (``--explain``), filtered (``--select`` /
 ``--ignore``), and documented without importing the checker.
@@ -118,6 +119,17 @@ NS102 = _register(
     "interrupt handlers run masked and may only Compute (paper Sec. 3.1); "
     "blocking corrupts the engine — use the i-prefixed non-blocking variants",
 )
+NB201 = _register(
+    "NB201",
+    "payload-materialization",
+    "bytes(...)/bytearray(...) materialization of a frame/message payload "
+    "in data-path code",
+    "the data path passes repro.buf views end to end (docs/buffers.md); "
+    "materializing a payload re-introduces the per-layer host copies the "
+    "buffer plane exists to eliminate — use .view()/.mv()/BufView slicing, "
+    "or suppress with a note at a true process/application boundary",
+)
+
 NS103 = _register(
     "NS103",
     "yield-non-event",

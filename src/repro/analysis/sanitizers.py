@@ -58,6 +58,7 @@ _RUNTIME_BASENAMES = (
     "kernel.py",
     "board.py",
     "primitives.py",
+    "packet.py",
 )
 
 #: Hard cap on stored reports per kind, so a pathological run cannot grow
@@ -199,6 +200,22 @@ class HeapSanitizer(_SubSanitizer):
         record = self._live.get(heap.name, {}).get(addr)
         if record is not None:
             record.permanent = True
+
+    def on_view_after_free(self, label: str, size: int) -> None:
+        """Report a repro.buf view touching its PacketBuffer after free.
+
+        The buffer plane's refcounted storage lives outside any simulated
+        heap, but a stale view is the same bug class as a read of a freed
+        heap block, so it reports under the same kind.
+        """
+        self._report(
+            "heap-use-after-free",
+            "error",
+            f"{label}: {size}-byte view used after its packet buffer was "
+            f"freed",
+            buffer=label,
+            size=size,
+        )
 
     def on_memory_access(self, region: Any, addr: int, size: int, write: bool) -> None:
         """Report reads/writes that touch freed heap blocks (UAF)."""
@@ -523,6 +540,11 @@ class Sanitizer:
         """Exempt a deliberate forever-allocation from leak sweeps."""
         if self.heap is not None:
             self.heap.mark_permanent(heap, addr)
+
+    def on_buffer_use_after_free(self, label: str, size: int) -> None:
+        """A repro.buf view was used after its PacketBuffer's last release."""
+        if self.heap is not None:
+            self.heap.on_view_after_free(label, size)
 
     def on_cached_buffer(self, region_name: str, addr: int, size: int) -> None:
         """A cached (permanent) buffer was recycled: clear race history."""

@@ -1,0 +1,12 @@
+"""repro.buf: the zero-copy buffer plane (paper Sec. 3.3, host side).
+
+:class:`PacketBuffer` + :class:`BufView` carry packet bytes through the
+data path as refcounted views instead of materialized byte strings;
+:class:`CopyMeter` makes the host copies that remain measurable
+(``host.memcpy_bytes`` in the telemetry plane).  See docs/buffers.md.
+"""
+
+from repro.buf.accounting import CopyMeter
+from repro.buf.packet import BufView, PacketBuffer
+
+__all__ = ["BufView", "CopyMeter", "PacketBuffer"]

@@ -54,6 +54,9 @@ class CAB:
         #: Optional repro.telemetry.profiler.CycleProfiler for DMA engine
         #: time; one attribute test per frame when detached.
         self.profiler = None
+        #: Optional repro.buf.accounting.CopyMeter (wired by NectarSystem):
+        #: counts host-level byte copies on this node's data path.
+        self.copy_meter = None
 
         self.cpu = CPU(
             sim,
@@ -231,6 +234,9 @@ class CAB:
             self.stats.add("crc_errors")
         if on_complete is not None:
             self.cpu.post_interrupt(on_complete(frame, crc_ok), name="end-of-packet")
+        # The frame has fully landed in CAB memory: this receive terminates
+        # its journey, so drop the payload buffer's last reference.
+        frame.release()
         self._finish_rx()
 
     def _rx_sink(self, frame: Frame) -> Generator:
@@ -242,6 +248,7 @@ class CAB:
                 raise CABError(f"{self.name}: rx sink frame interleave")
             if chunk.is_last:
                 break
+        frame.release()
         self._finish_rx()
 
     def _finish_rx(self) -> None:

@@ -108,7 +108,10 @@ def worker_main(
             verb = command[0]
             if verb == "advance":
                 runner.advance(command[1])
-                conn.send(("ok", runner.take_outbox(), runner.next_time()))
+                # Serialize hand-off payloads only here, at the true process
+                # boundary (the pipe): in-process they stay zero-copy views.
+                outbox = [handoff.to_wire() for handoff in runner.take_outbox()]
+                conn.send(("ok", outbox, runner.next_time()))
             elif verb == "inject":
                 runner.inject(command[1])
                 conn.send(("ok", runner.next_time()))

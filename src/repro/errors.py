@@ -4,6 +4,7 @@ from __future__ import annotations
 
 __all__ = [
     "AddressError",
+    "BufError",
     "CABError",
     "ConfigurationError",
     "HeapExhausted",
@@ -59,3 +60,12 @@ class AddressError(NectarError):
 
 class ProtocolError(NectarError):
     """Malformed packet or protocol state violation."""
+
+
+class BufError(NectarError):
+    """Misuse of the zero-copy buffer plane (repro.buf).
+
+    Raised for view access after the backing :class:`~repro.buf.PacketBuffer`
+    was released, ``prepend`` beyond the reserved headroom, out-of-window
+    slicing, and refcount over-release.
+    """

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Generator, Optional, Protocol, Set
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, Dict, Generator, Optional, Protocol, Set, Union
 
+from repro.buf.packet import BufView
 from repro.errors import ConfigurationError, RouteError
 from repro.hub.crossbar import Hub, PortAttachment, PortKind
 from repro.hub.routing import Topology
@@ -86,11 +87,28 @@ class Handoff:
     dst_hub: str
     #: Output ports still to take, one per remaining HUB.
     remaining: tuple
-    payload: bytes
+    #: In-process (inline shards), a retained :class:`~repro.buf.BufView`
+    #: of the exporting frame's storage — still zero-copy.  Serialized to
+    #: ``bytes`` by :meth:`to_wire` only at a true process boundary.
+    payload: Union[bytes, BufView]
     src: str
     crc: int
     seqno: int
     created_ns: int
+
+    def to_wire(self) -> "Handoff":
+        """Materialize the payload for pickling (one counted host copy).
+
+        The single legitimate serialization point of the hand-off path:
+        called by the worker-process loop just before the pipe send.
+        Releases the view's reference — the wire copy owns the bytes now.
+        """
+        payload = self.payload
+        if not isinstance(payload, BufView):
+            return self
+        data = payload.tobytes()
+        payload.release()
+        return replace(self, payload=data)
 
 
 class _HubForwarder:
@@ -355,6 +373,8 @@ class NectarNetwork:
             if frame.drop:
                 yield from self._consume_frame(fifo, chunk)
                 self.stats.add("frames_dropped")
+                # The injector ate the frame: its journey ends here.
+                frame.release()
                 if track is not None:
                     tracer.end("hub", "transfer", track=track)
                 continue
@@ -443,19 +463,23 @@ class NectarNetwork:
                     f"is installed"
                 )
             self.stats.add("handoffs_exported")
+            # Zero-copy export: the hand-off retains the payload storage,
+            # then the local frame drops its reference.  Inline shards
+            # adopt the view as-is; worker processes serialize via to_wire.
             self.boundary_egress(
                 Handoff(
                     fire_ns=fire_ns,
                     key=key,
                     dst_hub=dst_hub_name,
                     remaining=tuple(remaining),
-                    payload=bytes(frame.payload),
+                    payload=frame.payload.retain(),
                     src=frame.src,
                     crc=frame.crc,
                     seqno=frame.seqno,
                     created_ns=frame.created_ns,
                 )
             )
+            frame.release()
             return
         self._schedule_arrival(dst_hub_name, tuple(remaining), frame, fire_ns, key)
 
@@ -484,13 +508,16 @@ class NectarNetwork:
     def inject_handoff(self, handoff: Handoff) -> None:
         """Deliver a :class:`Handoff` exported by another shard.
 
-        Reconstructs the frame from its plain state and schedules the
+        Reconstructs the frame from its hand-off state and schedules the
         arrival under the hand-off's original time and key, so the firing
-        order matches the single-process reference bit for bit.
+        order matches the single-process reference bit for bit.  Inline
+        shards pass the retained view straight through (zero-copy); wire
+        payloads (``bytes`` off a pipe) are adopted by the frame with one
+        boundary copy.
         """
         frame = Frame(
             route=tuple(handoff.remaining),
-            payload=bytearray(handoff.payload),
+            payload=handoff.payload,
             src=handoff.src,
         )
         frame.crc = handoff.crc

@@ -8,6 +8,14 @@ bytes; the CRC is computed by hardware at egress and checked at ingress.
 Frames move as :class:`~repro.hw.fifo.Chunk` pieces so that transmission,
 switching and reception overlap in time (cut-through), and so that FIFO
 backpressure (the HUB's low-level flow control) is exercised for real.
+
+Zero-copy discipline (docs/buffers.md): a frame's payload is a
+:class:`~repro.buf.BufView` over a private refcounted
+:class:`~repro.buf.PacketBuffer` — materialized exactly once at send time
+(the TX DMA moving bytes out of CAB memory) with the datalink header
+prepended into reserved headroom.  CRC, chunking, store-and-forward, and
+the receive DMA all operate on views of that one buffer; whoever
+terminates the frame's journey calls :meth:`Frame.release`.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from repro.buf.packet import BufView, PacketBuffer
 from repro.errors import CABError
 from repro.hw.crc import crc32
 from repro.hw.fifo import ByteFIFO, Chunk
@@ -33,10 +42,10 @@ _frame_seq = itertools.count(1)
 
 @dataclass
 class Frame:
-    """A link-level frame: source route + datalink payload bytes."""
+    """A link-level frame: source route + a view of the datalink payload."""
 
     route: tuple[int, ...]
-    payload: bytearray
+    payload: BufView
     src: str = "?"
     crc: int = 0
     seqno: int = field(default_factory=lambda: next(_frame_seq))
@@ -50,8 +59,13 @@ class Frame:
     circuit: Optional[object] = None
 
     def __post_init__(self):
-        if not isinstance(self.payload, bytearray):
-            self.payload = bytearray(self.payload)
+        if not isinstance(self.payload, BufView):
+            # Construction from raw bytes (tests, cross-process hand-off
+            # import): adopt a private mutable copy so this frame owns its
+            # storage outright — the one sanctioned boundary copy here.
+            self.payload = PacketBuffer.wrap(
+                bytearray(self.payload), label="frame"  # nectarlint: disable=NB201
+            )
         if len(self.payload) == 0:
             raise CABError("empty frame payload")
 
@@ -61,11 +75,21 @@ class Frame:
 
     def seal(self) -> None:
         """Compute the egress CRC over the (current) payload bytes."""
-        self.crc = crc32(bytes(self.payload))
+        self.crc = crc32(self.payload.mv())
 
     def crc_ok(self) -> bool:
         """Ingress check: does the payload still match the egress CRC?"""
-        return crc32(bytes(self.payload)) == self.crc
+        return crc32(self.payload.mv()) == self.crc
+
+    def release(self) -> None:
+        """Drop the frame's reference on its payload storage.
+
+        Called by whoever terminates the frame's journey: the receive DMA
+        (delivered), the receive sink (discarded), the link process (frames
+        eaten by a drop injector), or the hand-off seam when the frame's
+        payload is exported to another shard.
+        """
+        self.payload.release()
 
     def corrupt(self, index: int) -> None:
         """Flip one payload byte in place (a wire fault).
@@ -94,9 +118,14 @@ class Frame:
             )
             offset += length
 
-    def chunk_bytes(self, chunk: Chunk) -> bytes:
-        """The payload bytes covered by one chunk."""
-        return bytes(self.payload[chunk.offset : chunk.offset + chunk.length])
+    def chunk_bytes(self, chunk: Chunk) -> memoryview:
+        """The payload bytes covered by one chunk, as a zero-copy view.
+
+        Consumers never mutate through this: the receive DMA copies it into
+        CAB memory (the one genuine landing copy) and tests reassemble from
+        it.  Wire corruption goes through :meth:`corrupt` instead.
+        """
+        return self.payload.mv()[chunk.offset : chunk.offset + chunk.length]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Frame #{self.seqno} {self.size}B route={self.route} from {self.src}>"

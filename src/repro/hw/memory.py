@@ -86,6 +86,10 @@ class MemoryRegion:
         #: attribute test per access when detached.
         self.sanitizer = None
         self.context_provider = None
+        #: Optional repro.buf.accounting.CopyMeter counting host-level byte
+        #: copies (read/write/fill materialize or move bytes; the view
+        #: accessors do not).  One attribute test per access when detached.
+        self.copy_meter = None
 
     # -- protection ----------------------------------------------------------
 
@@ -121,6 +125,8 @@ class MemoryRegion:
         self._check(addr, size, write=False)
         if self.sanitizer is not None:
             self.sanitizer.on_memory_access(self, addr, size, write=False)
+        if self.copy_meter is not None:
+            self.copy_meter.count(size)
         return bytes(self._bytes[addr : addr + size])
 
     def write(self, addr: int, data: bytes) -> None:
@@ -128,6 +134,8 @@ class MemoryRegion:
         self._check(addr, len(data), write=True)
         if self.sanitizer is not None:
             self.sanitizer.on_memory_access(self, addr, len(data), write=True)
+        if self.copy_meter is not None:
+            self.copy_meter.count(len(data))
         self._bytes[addr : addr + len(data)] = data
 
     def read_word(self, addr: int) -> int:
@@ -143,6 +151,8 @@ class MemoryRegion:
         self._check(addr, size, write=True)
         if self.sanitizer is not None:
             self.sanitizer.on_memory_access(self, addr, size, write=True)
+        if self.copy_meter is not None:
+            self.copy_meter.count(size)
         self._bytes[addr : addr + size] = bytes([value & 0xFF]) * size
 
     def view(self, addr: int, size: int) -> memoryview:
@@ -151,3 +161,15 @@ class MemoryRegion:
         if self.sanitizer is not None:
             self.sanitizer.on_memory_access(self, addr, size, write=True)
         return memoryview(self._bytes)[addr : addr + size]
+
+    def read_view(self, addr: int, size: int) -> memoryview:
+        """A read-only view: bounds/permission-checked, zero host copies.
+
+        The zero-copy read accessor of the buffer plane (docs/buffers.md):
+        CRC, checksum, and header-unpack code consume the view in place
+        instead of materializing ``bytes``.
+        """
+        self._check(addr, size, write=False)
+        if self.sanitizer is not None:
+            self.sanitizer.on_memory_access(self, addr, size, write=False)
+        return memoryview(self._bytes)[addr : addr + size].toreadonly()

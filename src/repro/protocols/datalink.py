@@ -12,6 +12,13 @@ upcall.
 Send side: a thread builds a frame (datalink header + packet bytes read from
 the mailbox message) and programs the transmit DMA; an optional TX-complete
 interrupt frees the send buffer once the frame has left CAB memory.
+
+Zero-copy discipline (docs/buffers.md): the frame buffer is allocated with
+``DatalinkHeader.SIZE`` bytes of headroom, the packet bytes are materialized
+into it with exactly one counted host copy (the TX DMA draining CAB
+memory), and the datalink header is *prepended* into the headroom instead
+of rebuilding the payload.  The receive side unpacks headers straight from
+frame and message views, with no intermediate ``bytes``.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Generator, Optional
 
+from repro.buf.packet import PacketBuffer
 from repro.cab.board import CAB
 from repro.cab.cpu import Compute
 from repro.errors import ProtocolError
@@ -94,6 +102,25 @@ class Datalink:
         label = self.runtime.cpu.context_label
         return label if label is not None else f"{self.runtime.cpu.name}/ext"
 
+    def _build_frame_payload(self, header: DatalinkHeader, packet_bytes):
+        """One counted copy of the packet into a headroom-reserving buffer.
+
+        Models the TX DMA materializing the frame out of CAB memory: the
+        frame gets private refcounted storage (so the mailbox message can
+        be freed at TX-complete while the frame is still on the wire) and
+        the datalink header is prepended into reserved headroom — no
+        header+payload rebuild.
+        """
+        view = PacketBuffer.alloc(
+            len(packet_bytes),
+            headroom=DatalinkHeader.SIZE,
+            meter=self.cab.copy_meter,
+            sanitizer=self.runtime.sanitizer,
+            label=f"{self.cab.name}.dl-frame",
+        )
+        view.fill_from(packet_bytes)
+        return view.prepend(header.pack())
+
     def send_message(
         self,
         dst_node: int,
@@ -124,11 +151,9 @@ class Datalink:
                 src_node=self.node_id,
                 dst_node=dst_node,
             )
-            payload = bytearray(header.pack())
-            payload.extend(msg.read())
             frame = Frame(
                 route=self.registry.route_to(self.cab.name, dst_node),
-                payload=payload,
+                payload=self._build_frame_payload(header, msg.view()),
                 src=self.cab.name,
             )
             if track is not None:
@@ -164,11 +189,9 @@ class Datalink:
             src_node=self.node_id,
             dst_node=dst_node,
         )
-        payload = bytearray(header.pack())
-        payload.extend(packet)
         frame = Frame(
             route=self.registry.route_to(self.cab.name, dst_node),
-            payload=payload,
+            payload=self._build_frame_payload(header, packet),
             src=self.cab.name,
         )
         tracer = self.runtime.tracer
@@ -189,7 +212,7 @@ class Datalink:
             self.cab.discard_rx(frame)
             return
         try:
-            header = DatalinkHeader.unpack(bytes(frame.payload[: DatalinkHeader.SIZE]))
+            header = DatalinkHeader.unpack(frame.payload.mv())
         except ProtocolError:
             self.stats.add("dl_bad_header")
             self.cab.discard_rx(frame)

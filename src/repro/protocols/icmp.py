@@ -111,7 +111,9 @@ class ICMPProtocol:
             yield from mailbox.iend_get(msg)
             return
         try:
-            ip_header = IPv4Header.unpack(msg.read(0, IPv4Header.SIZE))
+            ip_header = IPv4Header.unpack(msg.view(0, IPv4Header.SIZE))
+            # The body escapes the message's lifetime (echo payloads are
+            # re-sent after iend_get frees this buffer): keep the copy.
             body = msg.read(IPv4Header.SIZE)
             icmp = ICMPHeader.unpack(body)
         except ProtocolError:

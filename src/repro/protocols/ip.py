@@ -158,7 +158,7 @@ class IPProtocol:
             piece = min(payload_room, payload_size - offset)
             last = offset + piece >= payload_size
             frag = yield from self.input_mailbox.begin_put(IPv4Header.SIZE + piece)
-            data = msg.read(IPv4Header.SIZE + offset, piece)
+            data = msg.view(IPv4Header.SIZE + offset, piece)
             yield Compute(self.costs.cab_memcpy_ns(piece))
             frag.write(IPv4Header.SIZE, data)
             header = IPv4Header(
@@ -188,7 +188,7 @@ class IPProtocol:
         if msg.size < DatalinkHeader.SIZE + IPv4Header.SIZE:
             self.stats.add("ip_bad_header")
             return
-        raw = msg.read(DatalinkHeader.SIZE, IPv4Header.SIZE)
+        raw = msg.view(DatalinkHeader.SIZE, IPv4Header.SIZE)
         try:
             header = IPv4Header.unpack(raw)
         except ProtocolError:
@@ -203,7 +203,7 @@ class IPProtocol:
             self.stats.add("ip_bad_header")
             yield from self.input_mailbox.iabort_put(msg)
             return
-        raw = msg.read(0, IPv4Header.SIZE)
+        raw = msg.view(0, IPv4Header.SIZE)
         try:
             header = IPv4Header.unpack(raw)
         except ProtocolError:
@@ -235,7 +235,7 @@ class IPProtocol:
         """Thread-mode IP input processing (Sec. 3.1 experiment)."""
         while True:
             msg = yield from self.input_mailbox.begin_get()
-            raw = msg.read(0, IPv4Header.SIZE)
+            raw = msg.view(0, IPv4Header.SIZE)
             header = IPv4Header.unpack(raw)
             if header.fragment_offset or header.more_fragments:
                 yield from self._handle_fragment(msg, header)
@@ -283,7 +283,7 @@ class IPProtocol:
             return
         yield Compute(self.costs.cab_memcpy_ns(entry.total_payload))
         for offset, frag, _frag_header in entry.fragments:
-            frag_payload = frag.read(IPv4Header.SIZE)
+            frag_payload = frag.view(IPv4Header.SIZE)
             whole.write(IPv4Header.SIZE + offset, frag_payload)
             yield from self.input_mailbox.iabort_put(frag)
         rebuilt = IPv4Header(

@@ -104,7 +104,7 @@ class DatagramProtocol:
             msg = yield from self.send_mailbox.begin_get()
             yield Compute(self.costs.nectar_datagram_ns)
             header = NectarTransportHeader.unpack(
-                msg.read(0, NectarTransportHeader.SIZE)
+                msg.view(0, NectarTransportHeader.SIZE)
             )
             self.stats.add("datagram_out")
             self.runtime.tracer.emit("datagram", "cab_send_start")

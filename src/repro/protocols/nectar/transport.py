@@ -80,7 +80,7 @@ class NectarTransportLayer:
             return
         try:
             header = NectarTransportHeader.unpack(
-                msg.read(0, NectarTransportHeader.SIZE)
+                msg.view(0, NectarTransportHeader.SIZE)
             )
         except ProtocolError:
             self.stats.add("nectar_malformed")

@@ -257,8 +257,10 @@ class TCPProtocol:
         while True:
             request = yield from self.send_request_mailbox.begin_get()
             conn_id, length = struct.unpack(
-                _SEND_REQUEST_FMT, request.read(0, header_size)
+                _SEND_REQUEST_FMT, request.view(0, header_size)
             )
+            # The data outlives end_get below (it lands in send_buffer after
+            # the request message is freed): keep the copy.
             data = request.read(header_size, length)
             yield from self.send_request_mailbox.end_get(request)
             yield from ops.lock(self.lock)
@@ -372,8 +374,8 @@ class TCPProtocol:
                 yield from self.input_mailbox.end_get(msg)
                 continue
             try:
-                ip_header = IPv4Header.unpack(msg.read(0, IPv4Header.SIZE))
-                segment = msg.read(IPv4Header.SIZE)
+                ip_header = IPv4Header.unpack(msg.view(0, IPv4Header.SIZE))
+                segment = msg.view(IPv4Header.SIZE)
                 tcp_header = TCPHeader.unpack(segment)
             except ProtocolError:
                 self.stats.add("tcp_malformed")

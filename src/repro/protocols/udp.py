@@ -84,7 +84,7 @@ class UDPProtocol:
         )
         msg.write(IPv4Header.SIZE, header.pack())
         if self.checksums:
-            segment = msg.read(IPv4Header.SIZE)
+            segment = msg.view(IPv4Header.SIZE)
             yield Compute(self.costs.cab_checksum_ns(len(segment)))
             checksum = UDPHeader.compute_checksum(self.ip.address, dst_ip, segment)
             msg.write(IPv4Header.SIZE + 6, checksum.to_bytes(2, "big"))
@@ -106,9 +106,9 @@ class UDPProtocol:
             yield from self.input_mailbox.end_get(msg)
             return
         try:
-            ip_header = IPv4Header.unpack(msg.read(0, IPv4Header.SIZE))
+            ip_header = IPv4Header.unpack(msg.view(0, IPv4Header.SIZE))
             udp_header = UDPHeader.unpack(
-                msg.read(IPv4Header.SIZE, UDPHeader.SIZE)
+                msg.view(IPv4Header.SIZE, UDPHeader.SIZE)
             )
         except ProtocolError:
             self.stats.add("udp_malformed")
@@ -119,7 +119,7 @@ class UDPProtocol:
             yield from self.input_mailbox.end_get(msg)
             return
         if self.checksums and udp_header.checksum != 0:
-            segment = msg.read(IPv4Header.SIZE)
+            segment = msg.view(IPv4Header.SIZE)
             yield Compute(self.costs.cab_checksum_ns(len(segment)))
             partial = UDPHeader.compute_checksum(ip_header.src, ip_header.dst, segment)
             # Summing a segment with a valid embedded checksum yields 0

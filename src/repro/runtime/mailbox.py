@@ -93,6 +93,25 @@ class Message:
             )
         return self.mailbox.memory.read(self.addr + offset, size)
 
+    def view(self, offset: int = 0, size: Optional[int] = None) -> memoryview:
+        """A zero-copy read-only view of the message's data area.
+
+        Same state and bounds checks as :meth:`read`, but no host copy —
+        this is what the interrupt-time demux path uses to unpack headers
+        and sum checksums in place (docs/buffers.md).  The view aliases CAB
+        memory: it is only valid until the message's storage is released.
+        """
+        if self.state not in (WRITING, QUEUED, READING):
+            raise MailboxError(f"view of message in state {self.state}")
+        if size is None:
+            size = self.size - offset
+        if offset < 0 or offset + size > self.size:
+            raise MailboxError(
+                f"view [{offset}, {offset + size}) outside message of "
+                f"{self.size} bytes"
+            )
+        return self.mailbox.memory.read_view(self.addr + offset, size)
+
     # -- adjust operations (paper: remove prefix/suffix without copying) ---------
 
     def trim_front(self, nbytes: int) -> None:

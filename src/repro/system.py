@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.buf.accounting import CopyMeter
 from repro.cab.board import CAB
 from repro.errors import ConfigurationError
 from repro.hub.crossbar import Hub
@@ -59,6 +60,11 @@ class NectarNode:
         self.system = system
         self.name = name
         self.cab = CAB(system.sim, system.costs, name)
+        # Host-copy accounting: every region access and packet buffer on
+        # this node counts into the system-wide meter (host.memcpy_bytes).
+        self.cab.copy_meter = system.copy_meter
+        self.cab.data_mem.copy_meter = system.copy_meter
+        self.cab.program_mem.copy_meter = system.copy_meter
         system.network.attach(self.cab, hub, port)
         self.node_id = system.registry.register(name)
         self.runtime = Runtime(
@@ -103,6 +109,10 @@ class NectarSystem:
         if sanitizer is not None:
             sanitizer.bind_clock(lambda: self.sim.now)
         self.tracer = Tracer(lambda: self.sim.now)
+        #: Host-level copy meter (repro.buf): counts the Python-side byte
+        #: copies this simulation performs, distinct from simulated memcpy
+        #: cost.  Surfaced as the ``host.*`` counter plane by telemetry.
+        self.copy_meter = CopyMeter()
         self.network = NectarNetwork(self.sim, self.costs)
         self.network.tracer = self.tracer
         self.registry = NodeRegistry(self.network)

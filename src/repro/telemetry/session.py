@@ -78,6 +78,16 @@ class Telemetry:
         for stat, value in system.network.stats.snapshot().items():
             net_scope.counter(stat).value = value
 
+        copy_meter = getattr(system, "copy_meter", None)
+        if copy_meter is not None:
+            # Host-level copy plane (repro.buf): Python-side byte copies,
+            # not simulated nanoseconds.  Deterministic for a given seed —
+            # all copies derive from simulated traffic — so double runs
+            # stay byte-identical (docs/buffers.md).
+            host_scope = self.metrics.scope("host")
+            for stat, value in copy_meter.snapshot().items():
+                host_scope.counter(stat).value = value
+
         if system.faults is not None:
             fault_scope = self.metrics.scope("fault")
             for stat, value in system.faults.stats.snapshot().items():

@@ -1,0 +1,132 @@
+"""The ``python -m repro bench buf`` CLI and its BENCH_buf.json contract.
+
+The committed baseline is the tier-1 tripwire for host-copy regressions:
+a change that re-introduces payload materialization on the data path pushes
+``host.memcpy_bytes`` on rmp-stream above the committed counters and the
+``--check`` gate (exercised here in-process and via the CLI) fails.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.buf.bench import (
+    RMP_STREAM_MAX_FRACTION,
+    RMP_STREAM_PRE_REFACTOR,
+    check_against_baseline,
+    default_baseline_path,
+    render_bench_json,
+    run_buf_bench,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_buf_bench()
+
+
+class TestBenchReport:
+    def test_deterministic_section_is_byte_stable(self, report):
+        again = run_buf_bench()
+        stable = lambda rep: json.dumps(
+            {"config": rep["config"], "deterministic": rep["deterministic"]},
+            sort_keys=True,
+        )
+        assert stable(report) == stable(again)
+        # Wall-clock lives only in the quarantined section.
+        assert "wall_ns" not in json.dumps(report["deterministic"])
+        assert all("wall_ns" in leg for leg in report["measured"].values())
+
+    def test_microbench_counters_are_a_pure_function_of_the_sequence(self, report):
+        micro = report["deterministic"]["microbench"]
+        rounds = report["config"]["micro_rounds"]
+        # Per round: one fill (payload), one prepend (headroom), one
+        # tobytes of the 256-byte slice — and nothing else copies.
+        payload = report["config"]["micro_payload_bytes"]
+        headroom = report["config"]["micro_headroom"]
+        assert micro["memcpy_calls"] == 3 * rounds
+        assert micro["memcpy_bytes"] == rounds * (payload + headroom + 256)
+        assert micro["buffers_allocated"] == rounds
+        assert micro["buffers_freed"] == rounds
+
+    def test_rmp_stream_holds_the_50_percent_reduction(self, report):
+        counters = report["deterministic"]["rmp_stream"]
+        ceiling = RMP_STREAM_PRE_REFACTOR["memcpy_bytes"] * RMP_STREAM_MAX_FRACTION
+        assert counters["memcpy_bytes"] <= ceiling
+        assert counters["memcpy_calls"] < RMP_STREAM_PRE_REFACTOR["memcpy_calls"]
+        assert counters["buffers_allocated"] == counters["buffers_freed"]
+
+    def test_render_is_canonical(self, report):
+        assert render_bench_json(report) == render_bench_json(report)
+        assert render_bench_json(report).endswith("\n")
+
+
+class TestCheck:
+    def test_fresh_tree_passes_the_committed_baseline(self, report):
+        committed = json.loads(default_baseline_path().read_text())
+        assert check_against_baseline(committed, report) == []
+
+    def test_copy_regression_is_caught(self, report):
+        committed = json.loads(default_baseline_path().read_text())
+        regressed = json.loads(json.dumps(report))
+        regressed["deterministic"]["rmp_stream"]["memcpy_bytes"] += 1
+        errors = check_against_baseline(committed, regressed)
+        assert any("memcpy_bytes regressed" in error for error in errors)
+
+    def test_buffer_leak_is_caught(self, report):
+        committed = json.loads(default_baseline_path().read_text())
+        leaky = json.loads(json.dumps(report))
+        leaky["deterministic"]["rmp_stream"]["buffers_freed"] -= 1
+        errors = check_against_baseline(committed, leaky)
+        assert any("leaked" in error for error in errors)
+
+    def test_counter_drift_is_caught(self, report):
+        committed = json.loads(default_baseline_path().read_text())
+        drifted = json.loads(json.dumps(report))
+        drifted["deterministic"]["microbench"]["memcpy_calls"] += 1
+        errors = check_against_baseline(committed, drifted)
+        assert any("diverged" in error for error in errors)
+
+
+class TestCommittedBaseline:
+    def test_bench_buf_json_exists_and_parses(self):
+        committed = json.loads(default_baseline_path().read_text())
+        assert committed["bench"] == "buf"
+        assert (
+            committed["deterministic"]["rmp_stream_pre_refactor"]
+            == RMP_STREAM_PRE_REFACTOR
+        )
+        # The committed file is in canonical serialization.
+        assert default_baseline_path().read_text() == render_bench_json(committed)
+
+
+class TestCLI:
+    def run_bench(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "buf", *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+
+    def test_check_gate_passes_on_the_shipped_tree(self):
+        result = self.run_bench("--check")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "OK" in result.stdout
+
+    def test_unknown_subcommand_rejected(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "nope"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert result.returncode == 2

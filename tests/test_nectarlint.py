@@ -32,6 +32,7 @@ def test_registry_has_all_documented_rules():
     assert registered == {
         "ND001", "ND002", "ND003", "ND004", "ND005",
         "NS101", "NS102", "NS103",
+        "NB201",
     }
     for rule in all_rules():
         assert rule.summary and rule.rationale
@@ -229,6 +230,80 @@ def test_ns103_allows_event_yields():
         """
     )
     assert "NS103" not in codes(findings)
+
+
+# ------------------------------------------------------------ buffer plane ----
+
+DATA_PATH = "src/repro/protocols/fake.py"  # triggers the data-path rules
+
+
+def test_nb201_flags_bytes_of_payload_attribute():
+    findings = lint(
+        """
+        def export(frame):
+            return bytes(frame.payload)
+        """,
+        path=DATA_PATH,
+    )
+    assert "NB201" in codes(findings)
+
+
+def test_nb201_flags_bytearray_of_message_read():
+    findings = lint(
+        """
+        def stash(msg):
+            return bytearray(msg.read(0, 16))
+        """,
+        path=DATA_PATH,
+    )
+    assert "NB201" in codes(findings)
+
+
+def test_nb201_flags_materialized_view():
+    findings = lint(
+        """
+        def grab(msg):
+            return bytes(msg.view())
+        """,
+        path=DATA_PATH,
+    )
+    assert "NB201" in codes(findings)
+
+
+def test_nb201_allows_views_and_unrelated_bytes():
+    findings = lint(
+        """
+        def demux(msg, header):
+            raw = msg.view(0, 20)
+            scratch = bytearray(64)
+            return raw, bytes(scratch)
+        """,
+        path=DATA_PATH,
+    )
+    assert "NB201" not in codes(findings)
+
+
+def test_nb201_only_applies_to_data_path_dirs():
+    source = """
+    def export(frame):
+        return bytes(frame.payload)
+    """
+    in_tests = lint(source, path="tests/fake.py")
+    in_apps = lint(source, path="src/repro/apps/fake.py")
+    assert "NB201" not in codes(in_tests)
+    assert "NB201" not in codes(in_apps)
+
+
+def test_nb201_suppressible_at_process_boundary():
+    findings = lint(
+        """
+        def to_wire(frame):
+            # Pipe serialization: the one sanctioned copy.
+            return bytes(frame.payload)  # nectarlint: disable=NB201
+        """,
+        path=DATA_PATH,
+    )
+    assert "NB201" not in codes(findings)
 
 
 # ------------------------------------------------------------ suppressions ----

@@ -76,6 +76,26 @@ def test_cluster_package_is_lint_clean():
     assert findings == [], f"nectarlint findings in repro.cluster:\n{rendered}"
 
 
+def test_buf_package_is_simulation_sensitive_and_data_path():
+    """The buffer plane is both ordering-critical and view-disciplined."""
+    assert "buf" in nectarlint.SENSITIVE_PARTS
+    assert "buf" in nectarlint.DATA_PATH_PARTS
+    assert nectarlint._is_sensitive("src/repro/buf/packet.py")
+    assert nectarlint._is_data_path("src/repro/buf/packet.py")
+
+
+def test_buf_package_is_lint_clean():
+    findings = nectarlint.lint_paths([str(SRC / "repro" / "buf")])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"nectarlint findings in repro.buf:\n{rendered}"
+
+
+def test_payload_materialization_in_data_path_is_flagged():
+    source = "def export(frame):\n    return bytes(frame.payload)\n"
+    findings = nectarlint.lint_source(source, path="src/repro/hub/network.py")
+    assert any(finding.code == "NB201" for finding in findings), findings
+
+
 def test_wall_clock_in_cluster_barrier_path_is_flagged():
     source = "import time\n\n\ndef window_start():\n    return time.monotonic_ns()\n"
     findings = nectarlint.lint_source(source, path="src/repro/cluster/conductor.py")
