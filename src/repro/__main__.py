@@ -1,7 +1,9 @@
 """Run the full evaluation: every table, figure, micro-cost, and ablation.
 
 Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
-        python -m repro  lint [paths...] [--strict] [--format json]
+        python -m repro  lint [paths...] [--strict] [--static]
+                              [--format text|json|sarif] [--baseline FILE]
+        python -m repro  flow --graph [paths...]
         python -m repro  analyze [--rounds N]
         python -m repro  chaos [--scenario NAME] [--seed N] [--smoke] [--list]
         python -m repro  observe [--workload NAME] [--trace FILE] [--metrics FILE]
@@ -10,7 +12,11 @@ Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
         python -m repro  bench buf [--check | --write] [--json FILE]
 
 ``lint`` runs nectarlint, the static determinism/sim-safety checker
-(see :mod:`repro.analysis.nectarlint`); ``analyze`` runs the dynamic
+(see :mod:`repro.analysis.nectarlint`); with ``--static`` it also runs
+the whole-program nectarflow passes — buffer ownership, lock order,
+protocol FSMs (see :mod:`repro.analysis.flow`); ``flow --graph`` dumps
+the call graph and lifted state machines those passes compute;
+``analyze`` runs the dynamic
 sanitizer + determinism harness (see :mod:`repro.analysis.driver`);
 ``chaos`` runs a fault-injection campaign against the reliable transports
 (see :mod:`repro.faults.campaign`); ``observe`` runs a workload with the
@@ -43,6 +49,10 @@ def main(argv: list[str]) -> int:
         from repro.analysis import nectarlint
 
         return nectarlint.main(argv[1:])
+    if argv and argv[0] == "flow":
+        from repro.analysis.flow import cli
+
+        return cli.main(argv[1:])
     if argv and argv[0] == "analyze":
         from repro.analysis import driver
 

@@ -1,0 +1,100 @@
+"""Grandfathered findings for nectarflow (the committed baseline).
+
+Whole-program passes land on an existing tree with existing debt: the
+baseline file records the findings that were present when the pass was
+introduced so the CI gate starts green, new findings still fail, and the
+debt is paid down visibly (shrink the baseline, never grow it).
+
+Fingerprints are deliberately *line-free* — ``path::code::message`` —
+so unrelated edits that shift line numbers don't churn the baseline.
+Messages name functions and variables, not positions, which makes them
+stable until the code they describe actually changes.  Duplicate
+findings with the same fingerprint are counted: the baseline absorbs at
+most as many occurrences as were recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.rules import Finding
+
+__all__ = ["Baseline", "fingerprint", "DEFAULT_BASELINE"]
+
+#: The committed baseline, used when present in the working directory.
+DEFAULT_BASELINE = ".nectarflow-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-independent identity of one finding."""
+    path = finding.path.replace(os.sep, "/")
+    if path.startswith("./"):
+        path = path[2:]
+    return f"{path}::{finding.code}::{finding.message}"
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints, with counts."""
+
+    def __init__(self, counts: Dict[str, int] = None):
+        self.counts: Counter = Counter(counts or {})
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported baseline version in {path}")
+        return cls(data.get("findings", {}))
+
+    @classmethod
+    def load_or_empty(cls, path: str) -> "Baseline":
+        if os.path.exists(path):
+            return cls.load(path)
+        return cls()
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(fingerprint(f) for f in findings))
+
+    def write(self, path: str) -> None:
+        """Persist as deterministic version-1 JSON (sorted, newline-terminated)."""
+        data = {
+            "version": 1,
+            "findings": {
+                key: self.counts[key] for key in sorted(self.counts)
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- filtering -------------------------------------------------------------
+
+    def filter(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split into (new, grandfathered) findings.
+
+        Each baseline entry absorbs at most its recorded count, so a
+        *second* instance of a baselined defect still fails the gate.
+        """
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,256 @@
+"""Per-function control-flow graphs for the nectarflow dataflow core.
+
+A deliberately small CFG builder over the stdlib AST: basic blocks hold
+*simple* statements in source order; ``if``/``while``/``for``/``try``
+split blocks and wire successor edges; ``return``/``raise`` edges go to
+the function's single exit block; ``break``/``continue`` target the
+enclosing loop.  ``with`` bodies are inlined (the runtimes analyzed here
+use no ownership-bearing context managers), and exception edges are
+approximated the standard way: a ``try`` body may jump to each handler
+and to ``finally`` from its entry, which over-approximates where an
+exception can strike — exactly the conservative direction an ownership
+or lock analysis wants.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+@dataclass
+class Block:
+    """One basic block: simple statements plus successor edges."""
+
+    index: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    #: True for the block statements exit through return/raise.
+    terminated: bool = False
+
+    def add_succ(self, index: int) -> None:
+        """Add a successor edge (idempotent)."""
+        if index not in self.succs:
+            self.succs.append(index)
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        #: Where ``raise`` paths land.  Kept apart from the normal exit so
+        #: the ownership pass doesn't report leaks on paths that abort the
+        #: simulation anyway (exceptions are fatal in this codebase).
+        self.error_exit = self.new_block()
+
+    def new_block(self) -> Block:
+        """Append and return a fresh empty block."""
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.current: Block = self.cfg.entry
+        #: (break target, continue target) stack for loops.
+        self._loops: List[tuple] = []
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        self._emit_body(body)
+        self._terminate(self.cfg.exit.index)
+        return self.cfg
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _terminate(self, succ: int) -> None:
+        """End the current block, falling through to ``succ``."""
+        if not self.current.terminated:
+            self.current.add_succ(succ)
+
+    def _start_block(self) -> Block:
+        block = self.cfg.new_block()
+        self._terminate(block.index)
+        self.current = block
+        return block
+
+    def _emit_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if self.current.terminated:
+                # Dead code after return/raise/break: keep walking in a
+                # fresh unreachable block so its statements still parse,
+                # but nothing links to it.
+                self.current = self.cfg.new_block()
+            self._emit(stmt)
+
+    # -- statements -----------------------------------------------------------
+
+    def _emit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.current.stmts.append(stmt)
+            exit_index = (
+                self.cfg.exit.index
+                if isinstance(stmt, ast.Return)
+                else self.cfg.error_exit.index
+            )
+            self.current.add_succ(exit_index)
+            self.current.terminated = True
+        elif isinstance(stmt, ast.If):
+            self._emit_if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._emit_loop(stmt)
+        elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            self._emit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.current.stmts.append(stmt)  # the context expressions
+            self._emit_body(stmt.body)
+        elif isinstance(stmt, ast.Break):
+            if self._loops:
+                self.current.add_succ(self._loops[-1][0])
+            self.current.terminated = True
+        elif isinstance(stmt, ast.Continue):
+            if self._loops:
+                self.current.add_succ(self._loops[-1][1])
+            self.current.terminated = True
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions are separate CFGs; the def itself is a
+            # simple statement (it may capture variables — the ownership
+            # pass treats captures as escapes).
+            self.current.stmts.append(stmt)
+        else:
+            self.current.stmts.append(stmt)
+
+    def _emit_if(self, stmt: ast.If) -> None:
+        self.current.stmts.append(_CondMarker(stmt.test))
+        head = self.current
+        then_block = self.cfg.new_block()
+        head.add_succ(then_block.index)
+        join = self.cfg.new_block()
+
+        self.current = then_block
+        self._emit_body(stmt.body)
+        self._terminate(join.index)
+
+        if stmt.orelse:
+            else_block = self.cfg.new_block()
+            head.add_succ(else_block.index)
+            self.current = else_block
+            self._emit_body(stmt.orelse)
+            self._terminate(join.index)
+        else:
+            head.add_succ(join.index)
+        self.current = join
+
+    def _emit_loop(self, stmt) -> None:
+        head = self._start_block()
+        if isinstance(stmt, ast.While):
+            head.stmts.append(_CondMarker(stmt.test))
+            infinite = (
+                isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+            )
+        else:
+            head.stmts.append(_LoopTarget(stmt.target, stmt.iter))
+            infinite = False
+        body_block = self.cfg.new_block()
+        after = self.cfg.new_block()
+        head.add_succ(body_block.index)
+        if not infinite or stmt.orelse:
+            head.add_succ(after.index)
+
+        self._loops.append((after.index, head.index))
+        self.current = body_block
+        self._emit_body(stmt.body)
+        self._terminate(head.index)
+        self._loops.pop()
+
+        self.current = after
+        if stmt.orelse:
+            self._emit_body(stmt.orelse)
+
+    def _emit_try(self, stmt) -> None:
+        head = self.current
+        body_block = self.cfg.new_block()
+        head.add_succ(body_block.index)
+        after = self.cfg.new_block()
+
+        handler_blocks: List[Block] = []
+        for _handler in stmt.handlers:
+            handler_blocks.append(self.cfg.new_block())
+        final_entry: Optional[Block] = None
+        if stmt.finalbody:
+            final_entry = self.cfg.new_block()
+
+        # An exception may strike anywhere in the body: approximate with a
+        # "body never ran" path — the *pre-try* state flows straight to the
+        # handlers and to finally.  (Mid-body strike points are not
+        # enumerated: the simulations analyzed here treat exceptions as
+        # fatal, so exception-only leaks are deliberate non-findings.)
+        for handler_block in handler_blocks:
+            head.add_succ(handler_block.index)
+        if final_entry is not None:
+            head.add_succ(final_entry.index)
+
+        self.current = body_block
+        self._emit_body(stmt.body)
+        if stmt.orelse:
+            self._emit_body(stmt.orelse)
+        body_end = self.current
+        for handler_block in handler_blocks:
+            if not body_end.terminated:
+                body_end.add_succ(handler_block.index)
+        tail = final_entry.index if final_entry is not None else after.index
+        self._terminate(tail)
+
+        for handler, handler_block in zip(stmt.handlers, handler_blocks):
+            self.current = handler_block
+            self._emit_body(handler.body)
+            self._terminate(tail)
+
+        if final_entry is not None:
+            self.current = final_entry
+            self._emit_body(stmt.finalbody)
+            self._terminate(after.index)
+        self.current = after
+
+
+class _CondMarker(ast.stmt):
+    """Pseudo-statement carrying a branch condition into a block."""
+
+    _fields = ("test",)
+
+    def __init__(self, test: ast.expr):
+        self.test = test
+        self.lineno = getattr(test, "lineno", 1)
+        self.col_offset = getattr(test, "col_offset", 0)
+
+
+class _LoopTarget(ast.stmt):
+    """Pseudo-statement carrying a for-loop target/iter into a block."""
+
+    _fields = ("target", "iter")
+
+    def __init__(self, target: ast.expr, iter_: ast.expr):
+        self.target = target
+        self.iter = iter_
+        self.lineno = getattr(target, "lineno", 1)
+        self.col_offset = getattr(target, "col_offset", 0)
+
+
+#: Re-exported pseudo-statement types for the passes.
+CondMarker = _CondMarker
+LoopTarget = _LoopTarget
+
+
+def build_cfg(node) -> CFG:
+    """The CFG of one FunctionDef/AsyncFunctionDef."""
+    return _Builder().build(node.body)

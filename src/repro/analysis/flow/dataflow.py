@@ -1,0 +1,61 @@
+"""A small forward dataflow engine over nectarflow CFGs.
+
+Classic worklist iteration: abstract states flow block to block until a
+fixpoint.  States are whatever the pass chooses (the ownership pass uses
+``{cell: frozenset(status)}`` maps); the pass supplies ``transfer`` (the
+effect of one block on a state) and ``join`` (merge at control-flow
+merges).  Convergence is guaranteed as long as join is monotone and the
+abstract domain is finite — both passes use small powersets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TypeVar
+
+from repro.analysis.flow.cfg import CFG
+
+__all__ = ["run_forward"]
+
+State = TypeVar("State")
+
+#: Iteration bound: a safety net against a non-monotone transfer function
+#: (the analysis degrades to the states reached so far instead of hanging).
+_MAX_PASSES = 64
+
+
+def run_forward(
+    cfg: CFG,
+    init: State,
+    transfer: Callable[[int, State], State],
+    join: Callable[[State, State], State],
+    equal: Optional[Callable[[State, State], bool]] = None,
+) -> Dict[int, State]:
+    """Run to fixpoint; returns the state at *exit* of every block.
+
+    ``transfer(block_index, entry_state)`` must not mutate its input.
+    """
+    if equal is None:
+        equal = lambda a, b: a == b  # noqa: E731 - default structural equality
+    entry_states: Dict[int, State] = {cfg.entry.index: init}
+    exit_states: Dict[int, State] = {}
+    worklist: List[int] = [cfg.entry.index]
+    passes = 0
+    while worklist and passes < _MAX_PASSES * max(1, len(cfg.blocks)):
+        passes += 1
+        index = worklist.pop(0)
+        entry = entry_states.get(index)
+        if entry is None:
+            continue
+        exit_state = transfer(index, entry)
+        previous = exit_states.get(index)
+        if previous is not None and equal(previous, exit_state):
+            continue
+        exit_states[index] = exit_state
+        for succ in cfg.blocks[index].succs:
+            existing = entry_states.get(succ)
+            merged = exit_state if existing is None else join(existing, exit_state)
+            if succ not in entry_states or not equal(entry_states[succ], merged):
+                entry_states[succ] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    return exit_states

@@ -1,0 +1,460 @@
+"""NS11x: static lock-order analysis over the mutex plane.
+
+Builds the acquires-while-holding graph the dynamic
+:class:`~repro.analysis.sanitizers.LockSanitizer` observes at runtime —
+but from call sites, across function boundaries, without executing a
+single schedule:
+
+* **NS110** — a cycle in the lock-order graph: two call paths acquire
+  the same mutexes in opposite orders, so *some* interleaving deadlocks;
+* **NS111** — re-acquiring a mutex already held on the same path (the
+  cooperative ``Mutex`` is not reentrant: ``ThreadOps.lock`` would block
+  the thread against itself).
+
+Mutexes are keyed the way lockdep keys lock *classes*: by the literal
+name when the mutex comes from ``runtime.mutex("name")`` /
+``Mutex("name")`` (resolved through locals, module globals, and
+``self.attr = ...mutex("name")`` assignments in ``__init__``), else by
+the dotted expression text qualified with the enclosing class.  Holding
+is tracked per function in statement order; an ``if`` arm that exits the
+function (return/raise) keeps its lock changes to itself.  While a mutex
+is held, every resolved callee contributes edges from the held mutex to
+everything the callee's transitive closure can acquire.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import FunctionInfo, Project, dotted_name
+from repro.analysis.rules import Finding
+
+__all__ = ["LockPass"]
+
+#: Runtime primitives: never traversed as interprocedural calls (they are
+#: the lock machinery itself, and ``wait`` re-locks internally by design).
+_PRIMITIVE_NAMES = {
+    "lock",
+    "unlock",
+    "wait",
+    "timed_wait",
+    "notify",
+    "notify_all",
+    "broadcast",
+    "signal",
+    "mutex",
+    "condition",
+}
+
+
+@dataclass
+class _Acquire:
+    key: str
+    path: str
+    line: int
+    qname: str
+
+
+@dataclass
+class _Edge:
+    """held -> acquired, with the site that created the edge."""
+
+    held: str
+    acquired: str
+    path: str
+    line: int
+    qname: str
+    via: Optional[str] = None  # callee qname for interprocedural edges
+
+
+class LockPass:
+    """Run the NS11x checks over a whole project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        #: (class name, attr) -> literal mutex name from __init__ assigns.
+        self._attr_names: Dict[Tuple[str, str], str] = {}
+        #: module -> {global name: literal mutex name}.
+        self._module_names: Dict[str, Dict[str, str]] = {}
+        #: function qname -> keys it acquires directly.
+        self._acquires: Dict[str, List[_Acquire]] = {}
+        self._closure_cache: Dict[str, frozenset] = {}
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        """Build the acquires-while-holding graph; report NS110/NS111."""
+        self._index_mutex_names()
+        for qname in sorted(self.project.functions):
+            self._acquires[qname] = self._direct_acquires(
+                self.project.functions[qname]
+            )
+        edges: List[_Edge] = []
+        for qname in sorted(self.project.functions):
+            edges.extend(self._scan_function(self.project.functions[qname]))
+        self._report_cycles(edges)
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return self.findings
+
+    # -- mutex identity --------------------------------------------------------
+
+    def _index_mutex_names(self) -> None:
+        for path in sorted(self.project.modules):
+            _source, tree = self.project.modules[path]
+            module = None
+            for stmt in tree.body:
+                literal = self._mutex_literal_assign(stmt)
+                if literal is not None:
+                    name, key = literal
+                    if module is None:
+                        for info in self.project.functions.values():
+                            if info.path == path:
+                                module = info.module
+                                break
+                    bucket = self._module_names.setdefault(module or path, {})
+                    bucket[name] = key
+        for qname in sorted(self.project.functions):
+            info = self.project.functions[qname]
+            if info.class_name is None:
+                continue
+            for stmt in ast.walk(info.node):
+                if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                    continue
+                target = stmt.targets[0]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    key = self._mutex_ctor_literal(stmt.value)
+                    if key is not None:
+                        self._attr_names.setdefault(
+                            (info.class_name, target.attr), key
+                        )
+
+    def _mutex_literal_assign(self, stmt: ast.stmt) -> Optional[Tuple[str, str]]:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return None
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return None
+        key = self._mutex_ctor_literal(stmt.value)
+        if key is None:
+            return None
+        return target.id, key
+
+    def _mutex_ctor_literal(self, value: ast.expr) -> Optional[str]:
+        """'mutex:<name>' when ``value`` is ``...mutex("name")``/``Mutex("name")``."""
+        if not isinstance(value, ast.Call) or not value.args:
+            return None
+        func = value.func
+        callee = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if callee not in ("mutex", "Mutex"):
+            return None
+        arg = value.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return f"mutex:{arg.value}"
+        return None
+
+    def _key(
+        self, expr: ast.expr, info: FunctionInfo, env: Dict[str, str]
+    ) -> str:
+        """The lock-class key of a mutex expression at a call site."""
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            module_env = self._module_names.get(info.module, {})
+            if expr.id in module_env:
+                return module_env[expr.id]
+            return expr.id
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and info.class_name is not None
+        ):
+            named = self._attr_names.get((info.class_name, expr.attr))
+            if named is not None:
+                return named
+            return f"{info.class_name}.{expr.attr}"
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            return dotted
+        return ast.dump(expr)
+
+    # -- per-function facts ----------------------------------------------------
+
+    def _direct_acquires(self, info: FunctionInfo) -> List[_Acquire]:
+        acquires: List[_Acquire] = []
+        env = self._local_env(info)
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "lock"
+                and node.args
+            ):
+                acquires.append(
+                    _Acquire(
+                        key=self._key(node.args[0], info, env),
+                        path=info.path,
+                        line=node.lineno,
+                        qname=info.qname,
+                    )
+                )
+        return acquires
+
+    def _local_env(self, info: FunctionInfo) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        for stmt in ast.walk(info.node):
+            literal = self._mutex_literal_assign(stmt)
+            if literal is not None:
+                env[literal[0]] = literal[1]
+        return env
+
+    def _closure_keys(self, qname: str) -> frozenset:
+        """Lock keys acquired by ``qname`` or anything it can reach."""
+        cached = self._closure_cache.get(qname)
+        if cached is not None:
+            return cached
+        keys: Set[str] = {a.key for a in self._acquires.get(qname, [])}
+        for callee in self.project.transitive_callees(qname):
+            keys.update(a.key for a in self._acquires.get(callee, []))
+        result = frozenset(keys)
+        self._closure_cache[qname] = result
+        return result
+
+    # -- the walk --------------------------------------------------------------
+
+    def _scan_function(self, info: FunctionInfo) -> List[_Edge]:
+        env = self._local_env(info)
+        edges: List[_Edge] = []
+        held: List[str] = []
+        self._scan_body(info.node.body, info, env, held, edges)
+        return edges
+
+    def _scan_body(
+        self,
+        body: List[ast.stmt],
+        info: FunctionInfo,
+        env: Dict[str, str],
+        held: List[str],
+        edges: List[_Edge],
+    ) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, info, env, held, edges)
+
+    def _terminates(self, body: List[ast.stmt]) -> bool:
+        return bool(body) and isinstance(
+            body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+        )
+
+    def _scan_stmt(
+        self,
+        stmt: ast.stmt,
+        info: FunctionInfo,
+        env: Dict[str, str],
+        held: List[str],
+        edges: List[_Edge],
+    ) -> None:
+        if isinstance(stmt, ast.If):
+            # An early-exit arm keeps its lock changes to itself: the code
+            # after the if resumes with the fall-through holdings.
+            for arm in (stmt.body, stmt.orelse):
+                if not arm:
+                    continue
+                arm_held = list(held) if self._terminates(arm) else held
+                self._scan_body(arm, info, env, arm_held, edges)
+            return
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._scan_events(stmt, info, env, held, edges, header_only=True)
+            self._scan_body(stmt.body, info, env, held, edges)
+            if stmt.orelse:
+                self._scan_body(stmt.orelse, info, env, held, edges)
+            return
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            self._scan_body(stmt.body, info, env, held, edges)
+            for handler in stmt.handlers:
+                handler_held = (
+                    list(held) if self._terminates(handler.body) else held
+                )
+                self._scan_body(handler.body, info, env, handler_held, edges)
+            if stmt.orelse:
+                self._scan_body(stmt.orelse, info, env, held, edges)
+            if stmt.finalbody:
+                self._scan_body(stmt.finalbody, info, env, held, edges)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._scan_events(stmt, info, env, held, edges, header_only=True)
+            self._scan_body(stmt.body, info, env, held, edges)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are scanned as their own functions
+        self._scan_events(stmt, info, env, held, edges)
+
+    def _scan_events(
+        self,
+        stmt: ast.stmt,
+        info: FunctionInfo,
+        env: Dict[str, str],
+        held: List[str],
+        edges: List[_Edge],
+        header_only: bool = False,
+    ) -> None:
+        """Lock/unlock/call events inside one simple statement, in order."""
+        if header_only:
+            if isinstance(stmt, ast.While):
+                nodes = list(ast.walk(stmt.test))
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                nodes = list(ast.walk(stmt.iter))
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                nodes = [
+                    node
+                    for item in stmt.items
+                    for node in ast.walk(item.context_expr)
+                ]
+            else:
+                nodes = []
+        else:
+            nodes = list(ast.walk(stmt))
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            bare = func.id if isinstance(func, ast.Name) else None
+            if attr == "lock" and node.args:
+                key = self._key(node.args[0], info, env)
+                if key in held:
+                    self.findings.append(
+                        Finding(
+                            path=info.path,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            code="NS111",
+                            message=(
+                                f"{info.qname}: re-acquires {key!r} while "
+                                f"already holding it (the cooperative mutex "
+                                f"is not reentrant)"
+                            ),
+                        )
+                    )
+                    continue
+                for holder in held:
+                    edges.append(
+                        _Edge(
+                            held=holder,
+                            acquired=key,
+                            path=info.path,
+                            line=node.lineno,
+                            qname=info.qname,
+                        )
+                    )
+                held.append(key)
+                continue
+            if attr == "unlock" and node.args:
+                key = self._key(node.args[0], info, env)
+                if key in held:
+                    held.remove(key)
+                continue
+            if attr in ("wait", "timed_wait"):
+                continue  # the mutex stays logically held across a wait
+            callee_name = attr or bare
+            if callee_name in _PRIMITIVE_NAMES or not held:
+                continue
+            for callee in self.project._resolve_call(info, node):
+                callee_info = self.project.functions.get(callee)
+                if callee_info is not None and callee_info.name in _PRIMITIVE_NAMES:
+                    continue
+                for key in sorted(self._closure_keys(callee)):
+                    for holder in held:
+                        if key == holder:
+                            continue  # helpers guarded by the same lock
+                        edges.append(
+                            _Edge(
+                                held=holder,
+                                acquired=key,
+                                path=info.path,
+                                line=node.lineno,
+                                qname=info.qname,
+                                via=callee,
+                            )
+                        )
+
+    # -- cycles ----------------------------------------------------------------
+
+    def _report_cycles(self, edges: List[_Edge]) -> None:
+        graph: Dict[str, Set[str]] = {}
+        first_site: Dict[Tuple[str, str], _Edge] = {}
+        for edge in edges:
+            graph.setdefault(edge.held, set()).add(edge.acquired)
+            first_site.setdefault((edge.held, edge.acquired), edge)
+        reported: Set[frozenset] = set()
+        for edge in edges:
+            if not self._reaches(graph, edge.acquired, edge.held):
+                continue
+            cycle_keys = frozenset(
+                self._cycle_nodes(graph, edge.acquired, edge.held)
+                | {edge.held, edge.acquired}
+            )
+            if cycle_keys in reported:
+                continue
+            reported.add(cycle_keys)
+            back = first_site.get((edge.acquired, edge.held))
+            order = " -> ".join(sorted(cycle_keys))
+            detail = (
+                f"; reverse order at {back.path}:{back.line} in {back.qname}"
+                if back is not None
+                else ""
+            )
+            via = f" (via {edge.via})" if edge.via else ""
+            self.findings.append(
+                Finding(
+                    path=edge.path,
+                    line=edge.line,
+                    col=1,
+                    code="NS110",
+                    message=(
+                        f"{edge.qname}: lock-order cycle {order}{via} — "
+                        f"acquires {edge.acquired!r} while holding "
+                        f"{edge.held!r}{detail}"
+                    ),
+                )
+            )
+
+    def _reaches(self, graph: Dict[str, Set[str]], start: str, goal: str) -> bool:
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    def _cycle_nodes(
+        self, graph: Dict[str, Set[str]], start: str, goal: str
+    ) -> Set[str]:
+        """Nodes on some path start -> goal (members of the reported cycle)."""
+        path_nodes: Set[str] = set()
+        stack: List[Tuple[str, Tuple[str, ...]]] = [(start, (start,))]
+        seen: Set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                path_nodes.update(path)
+                continue
+            if node in seen:
+                continue
+            seen.add(node)
+            for succ in graph.get(node, ()):
+                stack.append((succ, path + (succ,)))
+        return path_nodes

@@ -23,7 +23,11 @@ Scope notes
   legitimately materialize; boundary sites in data-path code carry a
   ``# nectarlint: disable=NB201`` with a justifying note.
 
-Usage: ``python -m repro lint src/repro [--strict] [--format json]``.
+Usage: ``python -m repro lint src/repro [--strict] [--static]
+[--format text|json|sarif] [--baseline FILE]``.  ``--static`` adds the
+whole-program nectarflow passes (:mod:`repro.analysis.flow`) filtered
+through the committed baseline; exit codes are 0 (clean), 1 (findings),
+2 (usage/internal error).
 """
 
 from __future__ import annotations
@@ -550,8 +554,15 @@ def lint_source(
     select: Optional[set] = None,
     ignore: Optional[set] = None,
     data_path: Optional[bool] = None,
+    strict: bool = False,
 ) -> List[Finding]:
-    """Lint one source string; returns surviving findings."""
+    """Lint one source string; returns surviving findings.
+
+    Under ``strict``, suppression pragmas with no justifying note are
+    reported as NL001 — after suppression filtering (a pragma cannot
+    silence the complaint about itself) but still subject to
+    ``--select``/``--ignore``.
+    """
     if sensitive is None:
         sensitive = _is_sensitive(path)
     if data_path is None:
@@ -572,9 +583,30 @@ def lint_source(
     checker = _Checker(path, sensitive, tree, data_path=data_path)
     checker.visit(tree)
     checker.findings.sort(key=lambda f: (f.line, f.col, f.code))
-    return filter_findings(
-        checker.findings, parse_suppressions(source), select=select, ignore=ignore
+    suppressions = parse_suppressions(source)
+    kept = filter_findings(
+        checker.findings, suppressions, select=select, ignore=ignore
     )
+    if strict and suppressions.unjustified:
+        if (not select or "NL001" in select) and (
+            not ignore or "NL001" not in ignore
+        ):
+            for lineno in suppressions.unjustified:
+                kept.append(
+                    Finding(
+                        path=path,
+                        line=lineno,
+                        col=1,
+                        code="NL001",
+                        message=(
+                            "suppression pragma without a justifying note "
+                            "(add trailing text or an explanatory comment "
+                            "just above)"
+                        ),
+                    )
+                )
+            kept.sort(key=lambda f: (f.line, f.col, f.code))
+    return kept
 
 
 def _iter_python_files(paths: Iterable[str]) -> List[str]:
@@ -595,6 +627,7 @@ def lint_paths(
     paths: Iterable[str],
     select: Optional[set] = None,
     ignore: Optional[set] = None,
+    strict: bool = False,
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths`` (deterministic order)."""
     findings: List[Finding] = []
@@ -602,7 +635,13 @@ def lint_paths(
         with open(filename, "r", encoding="utf-8") as handle:
             source = handle.read()
         findings.extend(
-            lint_source(source, path=filename, select=select, ignore=ignore)
+            lint_source(
+                source,
+                path=filename,
+                select=select,
+                ignore=ignore,
+                strict=strict,
+            )
         )
     return findings
 
@@ -632,11 +671,47 @@ def render_rules() -> str:
     return "\n".join(lines)
 
 
+def _static_findings(
+    paths: List[str],
+    baseline_path: Optional[str],
+    select: Optional[set],
+    ignore: Optional[set],
+) -> List[Finding]:
+    """Run nectarflow and apply the baseline, then ``--select``/``--ignore``.
+
+    Baseline filtering happens *before* select/ignore, so selecting a
+    baselined code does not resurrect its grandfathered findings.
+    """
+    from repro.analysis.flow import analyze_paths
+    from repro.analysis.flow.baseline import Baseline, DEFAULT_BASELINE
+
+    _project, findings, _tables = analyze_paths(paths)
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None:
+        baseline = Baseline.load_or_empty(baseline_path)
+        findings, _grandfathered = baseline.filter(findings)
+    if select:
+        findings = [f for f in findings if f.code in select]
+    if ignore:
+        findings = [f for f in findings if f.code not in ignore]
+    return findings
+
+
 def main(argv: List[str]) -> int:
-    """CLI entry: ``python -m repro lint <paths> [options]``."""
+    """CLI entry: ``python -m repro lint <paths> [options]``.
+
+    Exit codes follow compiler convention: 0 for a clean run, 1 when any
+    finding survives filtering (strict or not), 2 for usage or internal
+    errors — so shell pipelines can tell "found problems" from "could not
+    run".
+    """
     paths: List[str] = []
     fmt = "text"
     strict = False
+    static = False
+    write_baseline = False
+    baseline_path: Optional[str] = None
     select: Optional[set] = None
     ignore: Optional[set] = None
     arguments = list(argv)
@@ -644,12 +719,26 @@ def main(argv: List[str]) -> int:
         arg = arguments.pop(0)
         if arg == "--strict":
             strict = True
+        elif arg == "--static":
+            static = True
+        elif arg == "--write-baseline":
+            static = True
+            write_baseline = True
+        elif arg == "--baseline":
+            if not arguments:
+                print("--baseline requires a file path", file=sys.stderr)
+                return 2
+            baseline_path = arguments.pop(0)
+            static = True
         elif arg == "--explain":
             print(render_rules())
             return 0
         elif arg == "--format":
-            if not arguments or arguments[0] not in ("text", "json"):
-                print("--format requires 'text' or 'json'", file=sys.stderr)
+            if not arguments or arguments[0] not in ("text", "json", "sarif"):
+                print(
+                    "--format requires 'text', 'json' or 'sarif'",
+                    file=sys.stderr,
+                )
                 return 2
             fmt = arguments.pop(0)
         elif arg == "--select":
@@ -668,8 +757,10 @@ def main(argv: List[str]) -> int:
         else:
             paths.append(arg)
     if not paths:
-        print("usage: python -m repro lint <paths> [--strict] [--format json] "
-              "[--select CODES] [--ignore CODES] [--explain]", file=sys.stderr)
+        print("usage: python -m repro lint <paths> [--strict] [--static] "
+              "[--format text|json|sarif] [--select CODES] [--ignore CODES] "
+              "[--baseline FILE] [--write-baseline] [--explain]",
+              file=sys.stderr)
         return 2
     missing = [path for path in paths if not os.path.exists(path)]
     if missing:
@@ -677,12 +768,32 @@ def main(argv: List[str]) -> int:
         for path in missing:
             print(f"no such file or directory: {path}", file=sys.stderr)
         return 2
-    findings = lint_paths(paths, select=select, ignore=ignore)
+    if write_baseline:
+        from repro.analysis.flow import analyze_paths
+        from repro.analysis.flow.baseline import Baseline, DEFAULT_BASELINE
+
+        _project, static_raw, _tables = analyze_paths(paths)
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(static_raw).write(target)
+        print(f"nectarflow: wrote {len(static_raw)} finding(s) to {target}")
+        return 0
+    findings = lint_paths(paths, select=select, ignore=ignore, strict=strict)
+    if static:
+        findings.extend(
+            _static_findings(paths, baseline_path, select, ignore)
+        )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    if fmt == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        rendered = render_sarif(findings)
+    elif fmt == "json":
+        rendered = render_json(findings)
+    else:
+        rendered = render_text(findings)
     try:
-        print(render_json(findings) if fmt == "json" else render_text(findings))
+        print(rendered)
     except BrokenPipeError:
         # Output piped into head/less that exited early; the verdict stands.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    if findings and strict:
-        return 1
-    return 0
+    return 1 if findings else 0

@@ -2,16 +2,21 @@
 
 Every rule has a stable code (``ND0xx`` for determinism hazards, ``NS1xx``
 for simulated-concurrency/sim-safety hazards, ``NB2xx`` for buffer-plane
-hazards), a one-line summary, and the paper section whose invariant it
-protects.  The AST checks themselves live
-in :mod:`repro.analysis.nectarlint`; this module is pure bookkeeping so the
-rule table can be rendered (``--explain``), filtered (``--select`` /
-``--ignore``), and documented without importing the checker.
+hazards, ``NP3xx`` for protocol state-machine hazards, ``NL0xx`` for lint
+hygiene), a one-line summary, and the paper section whose invariant it
+protects.  The per-file AST checks live
+in :mod:`repro.analysis.nectarlint` and the whole-program passes
+in :mod:`repro.analysis.flow`; this module is pure bookkeeping so the
+rule table can be rendered (``--explain``, docs/analysis.md), filtered
+(``--select`` / ``--ignore``), and documented without importing the
+checkers.
 
 Suppression: a ``# nectarlint: disable=ND004`` comment on the line of the
 finding (or ``disable=all``) silences it; ``# nectarlint: disable-file=XXX``
-anywhere in a file silences a code for the whole file.  Suppressions should
-carry a justifying note in the surrounding comment.
+anywhere in a file silences a code for the whole file.  Suppressions must
+carry a justifying note — either trailing text on the pragma line
+(``disable=ND004 -- why``) or an explanatory comment on one of the three
+preceding lines; ``--strict`` reports unjustified suppressions as NL001.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "parse_suppressions",
+    "render_markdown_table",
 ]
 
 
@@ -138,6 +144,90 @@ NS103 = _register(
     "constant yield is a SimulationError at run time — caught here instead",
 )
 
+# ----------------------------------------------- whole-program (nectarflow)
+
+NB210 = _register(
+    "NB210",
+    "buf-leak",
+    "a PacketBuffer/BufView owner can leave the function on some path with "
+    "neither release() nor a transfer to an ownership sink",
+    "the buffer plane's refcount discipline (docs/buffers.md) requires every "
+    "owning reference to end in release() or a hand-off (send_frame, "
+    "Handoff, RX DMA, drop injector); a skipped path is a leak the runtime "
+    "sanitizer only sees if that path executes — nectarflow proves it over "
+    "all paths",
+)
+NB211 = _register(
+    "NB211",
+    "buf-double-release",
+    "release() reachable twice on one path for the same buffer reference",
+    "the second release() throws BufError at run time (refcount underflow) "
+    "or, worse, frees storage another owner still views — the static "
+    "mirror of the sanitizer's heap-double-free verdict",
+)
+NB212 = _register(
+    "NB212",
+    "buf-use-after-release",
+    "a buffer view used on a path after its reference was released",
+    "a released view's storage may already be freed; touching it raises "
+    "BufError in sanitized runs but silently reads recycled storage "
+    "semantics otherwise — the static mirror of heap-use-after-free",
+)
+NS110 = _register(
+    "NS110",
+    "static-lock-cycle",
+    "a cycle in the interprocedural acquires-while-holding mutex graph",
+    "two call paths acquiring the same mutexes in opposite orders can "
+    "deadlock under some interleaving, even one never observed; subsumes "
+    "the runtime LockSanitizer's lock-cycle check without needing the "
+    "paths to execute (paper Sec. 3.2)",
+)
+NS111 = _register(
+    "NS111",
+    "static-relock",
+    "a mutex acquired again on a path that already holds it",
+    "Mutex is not reentrant: ThreadOps.lock raises NectarError when the "
+    "owner relocks, so any path reaching a second lock() of a held mutex "
+    "is a guaranteed run-time failure",
+)
+NP301 = _register(
+    "NP301",
+    "fsm-unreachable-state",
+    "a protocol state that no transition ever enters",
+    "an unreachable state is dead protocol surface: either the transition "
+    "code that should reach it is missing (a protocol bug) or the state is "
+    "vestigial and belongs out of the machine (paper Sec. 4 state machines)",
+)
+NP302 = _register(
+    "NP302",
+    "fsm-no-exit-state",
+    "a non-terminal protocol state that is entered but never tested or "
+    "exited",
+    "a connection parked in a state with no outgoing transition is stuck "
+    "forever — the FSM analogue of a leak; every non-terminal state needs "
+    "an exit (event, timeout, or error transition)",
+)
+NP303 = _register(
+    "NP303",
+    "fsm-unguarded-wait",
+    "a waiting state whose only exits fire on packet receipt, with no "
+    "timer/retransmit path covering it",
+    "a state left only when the peer speaks hangs forever if the packet is "
+    "lost; the paper's transports pair every wait with a retransmission "
+    "timeout (Sec. 4) — so must every extracted FSM",
+)
+
+# ------------------------------------------------------------- lint hygiene
+
+NL001 = _register(
+    "NL001",
+    "unjustified-suppression",
+    "a nectarlint suppression pragma with no justifying note",
+    "shipped suppressions must say why the finding is a false positive or "
+    "a sanctioned boundary; an unexplained pragma hides bugs from review "
+    "(reported under --strict only)",
+)
+
 
 # -------------------------------------------------------------------- output
 
@@ -174,8 +264,17 @@ class Finding:
 
 # -------------------------------------------------------------- suppressions
 
-_DISABLE_RE = re.compile(r"#\s*nectarlint:\s*disable=([A-Za-z0-9,\s]+)")
-_DISABLE_FILE_RE = re.compile(r"#\s*nectarlint:\s*disable-file=([A-Za-z0-9,\s]+)")
+#: Codes are strict comma-separated tokens; everything after them on the
+#: pragma line is the (optional) justification note.
+_DISABLE_RE = re.compile(
+    r"#\s*nectarlint:\s*disable=((?:[A-Za-z0-9]+\s*,\s*)*[A-Za-z0-9]+)(.*)"
+)
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*nectarlint:\s*disable-file=((?:[A-Za-z0-9]+\s*,\s*)*[A-Za-z0-9]+)(.*)"
+)
+
+#: How far above a pragma an explanatory comment still counts as its note.
+_NOTE_LOOKBACK_LINES = 3
 
 
 @dataclass
@@ -186,6 +285,8 @@ class Suppressions:
     by_line: Dict[int, set] = field(default_factory=dict)
     #: codes disabled for the whole file.
     whole_file: set = field(default_factory=set)
+    #: pragma lines with no justification note (for NL001 under --strict).
+    unjustified: List[int] = field(default_factory=list)
 
     def active(self, line: int, code: str) -> bool:
         """Whether ``code`` is suppressed at ``line``."""
@@ -201,20 +302,58 @@ def _parse_codes(blob: str) -> set:
     return {part.strip().upper() for part in blob.split(",") if part.strip()}
 
 
+def _has_note(trailing: str, lines: List[str], lineno: int) -> bool:
+    """Whether a pragma at ``lineno`` carries a justification.
+
+    Either trailing text after the code list on the pragma line itself
+    (``disable=ND004 -- why``), or a ``#`` comment on one of the
+    ``_NOTE_LOOKBACK_LINES`` preceding lines (the repo's established idiom
+    is an explanatory comment immediately above the boundary site).
+    """
+    if trailing.strip():
+        return True
+    start = max(0, lineno - 1 - _NOTE_LOOKBACK_LINES)
+    for text in lines[start : lineno - 1]:
+        if "#" in text and "nectarlint:" not in text:
+            return True
+    return False
+
+
 def parse_suppressions(source: str) -> Suppressions:
     """Scan source text for nectarlint suppression comments."""
     table = Suppressions()
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
         match = _DISABLE_FILE_RE.search(text)
         if match:
             table.whole_file |= _parse_codes(match.group(1))
+            if not _has_note(match.group(2), lines, lineno):
+                table.unjustified.append(lineno)
             continue
         match = _DISABLE_RE.search(text)
         if match:
             table.by_line.setdefault(lineno, set()).update(
                 _parse_codes(match.group(1))
             )
+            if not _has_note(match.group(2), lines, lineno):
+                table.unjustified.append(lineno)
     return table
+
+
+# ---------------------------------------------------------------- rendering
+
+
+def render_markdown_table() -> str:
+    """The rule registry as a markdown table (docs/analysis.md is generated
+    from this; ``tests/test_nectarlint_clean.py`` keeps them in sync)."""
+    lines = [
+        "| code | name | summary |",
+        "| --- | --- | --- |",
+    ]
+    for rule in all_rules():
+        summary = rule.summary.replace("|", "\\|")
+        lines.append(f"| {rule.code} | {rule.name} | {summary} |")
+    return "\n".join(lines)
 
 
 def filter_findings(

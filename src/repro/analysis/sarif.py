@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 output for nectarlint (``--format sarif``).
+
+A deliberately minimal, byte-stable subset of the Static Analysis
+Results Interchange Format: one run, one driver, the rules that actually
+fired (sorted by code), one result per finding in input order.  Byte
+stability matters — the golden-file test diffs the exact output, and CI
+annotation uploads dedupe on content — so nothing here depends on
+environment, time, or dict iteration order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from repro.analysis.rules import Finding, _REGISTRY
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _uri(path: str) -> str:
+    uri = path.replace(os.sep, "/")
+    return uri[2:] if uri.startswith("./") else uri
+
+
+def render_sarif(findings: List[Finding]) -> str:
+    """The findings as a SARIF 2.1.0 document (byte-stable)."""
+    fired = sorted({f.code for f in findings})
+    rules = []
+    for code in fired:
+        rule = _REGISTRY.get(code)
+        entry = {"id": code}
+        if rule is not None:
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.summary}
+            entry["help"] = {"text": rule.rationale}
+        else:
+            entry["shortDescription"] = {"text": "unparseable source"}
+        rules.append(entry)
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.code,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(finding.path)},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": max(1, finding.col),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "nectarlint",
+                        "informationUri": "docs/analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -140,7 +140,9 @@ class TCB:
         self.name = name
         self.priority = priority
         self.gen = gen
-        self.state = _NEW
+        # Scheduler bookkeeping label, not a guarded FSM: the kernel exits
+        # _NEW by direct assignment when it first runs the thread.
+        self.state = _NEW  # nectarlint: disable=NP302
         self.resume_value: Any = None
         self.resume_exc: Optional[BaseException] = None
         self.pending_compute_ns = 0
@@ -408,7 +410,9 @@ class CPU:
                 self.profiler.account(self.name, "sched", "context-switch", switch_ns)
             self.stats.add("context_switches")
             self._last_ran = tcb
-        tcb.state = _RUNNING
+        # Bookkeeping label: the dispatcher leaves _RUNNING by assigning the
+        # next state directly (blocked/ready/done), never by testing it.
+        tcb.state = _RUNNING  # nectarlint: disable=NP302
         self.current = tcb
 
         while True:

@@ -50,7 +50,9 @@ def seq_ge(a: int, b: int) -> bool:
 
 class TCPState(enum.Enum):
     CLOSED = "CLOSED"
-    LISTEN = "LISTEN"
+    # Passive open is modeled by separate Listener objects (tcp.py), so no
+    # connection ever sits in LISTEN; the member stays for RFC fidelity.
+    LISTEN = "LISTEN"  # nectarlint: disable=NP301
     SYN_SENT = "SYN_SENT"
     SYN_RCVD = "SYN_RCVD"
     ESTABLISHED = "ESTABLISHED"

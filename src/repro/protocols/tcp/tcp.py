@@ -531,6 +531,12 @@ class TCPProtocol:
             TCPState.FIN_WAIT_1,
             TCPState.FIN_WAIT_2,
         ):
+            if conn.state is TCPState.TIME_WAIT and header.flags & TCP_FIN:
+                # RFC 1122 4.2.2.13: a retransmitted FIN (our final ACK was
+                # lost) restarts the 2MSL clock; the ACK below re-answers it.
+                self._time_wait_deadlines[conn.conn_id] = (
+                    self.runtime.sim.now + TIME_WAIT_NS
+                )
             yield from self.input_mailbox.end_get(msg)
             yield from self._send_ack(conn)
             return

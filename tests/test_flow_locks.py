@@ -1,0 +1,241 @@
+"""NS11x lock-order tests.
+
+The headline fixture mirrors ``tests/test_sanitizers.py``'s
+``test_lock_order_cycle_reports_site``: the same two thread bodies that
+the dynamic lock sanitizer catches at run time (opposite-order
+acquisition of mutexes "A" and "B") are flagged here as NS110 from the
+source alone — no schedule has to hit the deadlock first.
+"""
+
+import textwrap
+
+from repro.analysis.flow.callgraph import Project
+from repro.analysis.flow.locks import LockPass
+
+
+def lock_findings(source, path="src/repro/runtime/fixture.py"):
+    project = Project.from_source(textwrap.dedent(source), path)
+    return LockPass(project).run()
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ---------------------------------------------------------------- known bad ----
+
+
+def test_opposite_order_cycle_is_ns110_like_the_dynamic_sanitizer():
+    # Static mirror of test_sanitizers.test_lock_order_cycle_reports_site.
+    findings = lock_findings(
+        """
+        mutex_a = runtime.mutex("A")
+        mutex_b = runtime.mutex("B")
+
+        def forward(ops):
+            yield from ops.lock(mutex_a)
+            yield from ops.lock(mutex_b)
+            yield from ops.unlock(mutex_b)
+            yield from ops.unlock(mutex_a)
+
+        def backward(ops):
+            yield from ops.lock(mutex_b)
+            yield from ops.lock(mutex_a)
+            yield from ops.unlock(mutex_a)
+            yield from ops.unlock(mutex_b)
+        """
+    )
+    assert codes(findings) == ["NS110"]
+    message = findings[0].message
+    assert "mutex:A" in message and "mutex:B" in message
+    assert "reverse order" in message
+
+
+def test_relock_of_a_held_mutex_is_ns111():
+    findings = lock_findings(
+        """
+        mutex_a = runtime.mutex("A")
+
+        def relock(ops):
+            yield from ops.lock(mutex_a)
+            yield from ops.lock(mutex_a)
+            yield from ops.unlock(mutex_a)
+        """
+    )
+    assert codes(findings) == ["NS111"]
+    assert "mutex:A" in findings[0].message
+
+
+def test_wait_keeps_the_mutex_held():
+    # Condition waits re-acquire internally; the mutex is logically held
+    # across them, so a second explicit lock is still a self-deadlock.
+    findings = lock_findings(
+        """
+        mutex_a = runtime.mutex("A")
+
+        def waiter(ops, cond):
+            yield from ops.lock(mutex_a)
+            yield from ops.wait(cond)
+            yield from ops.lock(mutex_a)
+        """
+    )
+    assert codes(findings) == ["NS111"]
+
+
+def test_interprocedural_cycle_through_a_helper():
+    # outer holds A and calls a helper that takes B; reverse takes B
+    # then A directly.  The cycle only exists across the call boundary.
+    findings = lock_findings(
+        """
+        mutex_a = runtime.mutex("A")
+        mutex_b = runtime.mutex("B")
+
+        def helper(ops):
+            yield from ops.lock(mutex_b)
+            yield from ops.unlock(mutex_b)
+
+        def outer(ops):
+            yield from ops.lock(mutex_a)
+            yield from helper(ops)
+            yield from ops.unlock(mutex_a)
+
+        def reverse(ops):
+            yield from ops.lock(mutex_b)
+            yield from ops.lock(mutex_a)
+            yield from ops.unlock(mutex_a)
+            yield from ops.unlock(mutex_b)
+        """
+    )
+    assert codes(findings) == ["NS110"]
+    assert "via" in findings[0].message
+
+
+def test_self_attribute_mutexes_key_by_their_literal_name():
+    findings = lock_findings(
+        """
+        class Device:
+            def __init__(self, runtime):
+                self.tx_mutex = runtime.mutex("tx")
+
+            def send(self, ops):
+                yield from ops.lock(self.tx_mutex)
+                yield from ops.lock(self.tx_mutex)
+        """
+    )
+    assert codes(findings) == ["NS111"]
+    assert "mutex:tx" in findings[0].message
+
+
+# --------------------------------------------------------------- known good ----
+
+
+def test_consistent_order_everywhere_is_clean():
+    assert (
+        lock_findings(
+            """
+            mutex_a = runtime.mutex("A")
+            mutex_b = runtime.mutex("B")
+
+            def one(ops):
+                yield from ops.lock(mutex_a)
+                yield from ops.lock(mutex_b)
+                yield from ops.unlock(mutex_b)
+                yield from ops.unlock(mutex_a)
+
+            def two(ops):
+                yield from ops.lock(mutex_a)
+                yield from ops.lock(mutex_b)
+                yield from ops.unlock(mutex_b)
+                yield from ops.unlock(mutex_a)
+            """
+        )
+        == []
+    )
+
+
+def test_early_exit_arm_keeps_its_unlock_to_itself():
+    assert (
+        lock_findings(
+            """
+            mutex_a = runtime.mutex("A")
+            mutex_b = runtime.mutex("B")
+
+            def guarded(ops, cond):
+                yield from ops.lock(mutex_a)
+                if cond:
+                    yield from ops.unlock(mutex_a)
+                    return
+                yield from ops.lock(mutex_b)
+                yield from ops.unlock(mutex_b)
+                yield from ops.unlock(mutex_a)
+            """
+        )
+        == []
+    )
+
+
+def test_unlock_then_relock_is_not_a_relock():
+    assert (
+        lock_findings(
+            """
+            mutex_a = runtime.mutex("A")
+
+            def pulsed(ops):
+                yield from ops.lock(mutex_a)
+                yield from ops.unlock(mutex_a)
+                yield from ops.lock(mutex_a)
+                yield from ops.unlock(mutex_a)
+            """
+        )
+        == []
+    )
+
+
+def test_helper_guarded_by_the_same_lock_adds_no_self_edge():
+    # A helper that takes the lock its callers hold is the classic
+    # "call with lock held" false-positive shape; the same-key edge is
+    # skipped (NS111 would fire if the helper path were actually taken
+    # with the lock held — that is a different, real report).
+    assert (
+        lock_findings(
+            """
+            mutex_a = runtime.mutex("A")
+
+            def locked_helper(ops):
+                yield from ops.lock(mutex_a)
+                yield from ops.unlock(mutex_a)
+
+            def driver(ops, cond):
+                yield from ops.lock(mutex_a)
+                if cond:
+                    work(ops)
+                yield from ops.unlock(mutex_a)
+
+            def work(ops):
+                pass
+            """
+        )
+        == []
+    )
+
+
+def test_distinct_literal_names_are_distinct_lock_classes():
+    # Two different attrs with different literal names: nested order
+    # A-then-B in one place only, no cycle.
+    assert (
+        lock_findings(
+            """
+            class Hub:
+                def __init__(self, runtime):
+                    self.ingress = runtime.mutex("ingress")
+                    self.egress = runtime.mutex("egress")
+
+                def route(self, ops):
+                    yield from ops.lock(self.ingress)
+                    yield from ops.lock(self.egress)
+                    yield from ops.unlock(self.egress)
+                    yield from ops.unlock(self.ingress)
+            """
+        )
+        == []
+    )

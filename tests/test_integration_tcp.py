@@ -207,6 +207,63 @@ class TestTCPTeardown:
         a.runtime.fork_application(client(), "client")
         assert system.run_until(done, limit=seconds(30)) is TCPState.CLOSED
 
+    def test_retransmitted_fin_in_time_wait_restarts_2msl(self, system):
+        """RFC 1122 4.2.2.13: if our final ACK is lost, the peer
+        retransmits its FIN; the TIME_WAIT side must re-ACK it *and*
+        restart the 2MSL clock so the re-ACK has time to land."""
+        a, b = system.nodes["cab-a"], system.nodes["cab-b"]
+        done = system.sim.event()
+        holder = {"conn": None, "dropped": 0}
+
+        def drop_final_ack(frame):
+            # The first frame transmitted once the active closer sits in
+            # TIME_WAIT is its ACK of the peer's FIN: drop exactly that.
+            conn = holder["conn"]
+            if (
+                conn is not None
+                and conn.state is TCPState.TIME_WAIT
+                and not holder["dropped"]
+            ):
+                frame.drop = True
+                holder["dropped"] += 1
+
+        system.network.fault_injector = drop_final_ack
+
+        server_inbox = b.runtime.mailbox("srv-inbox")
+        listener = b.tcp.listen(7000, lambda conn: server_inbox)
+
+        def server():
+            conn = yield from b.tcp.accept(listener)
+            while conn.state is TCPState.ESTABLISHED:
+                yield from b.runtime.ops.sleep(ms(1))
+            yield from b.tcp.close(conn)
+            yield from b.tcp.wait_closed(conn)
+
+        def client():
+            inbox = a.runtime.mailbox("cli-inbox")
+            conn = yield from a.tcp.connect(6000, b.ip_address, 7000, inbox)
+            holder["conn"] = conn
+            yield from a.tcp.close(conn)
+            while conn.state is not TCPState.TIME_WAIT:
+                yield from a.runtime.ops.sleep(ms(1))
+            first_deadline = a.tcp._time_wait_deadlines[conn.conn_id]
+            # Wait for the retransmitted FIN to arrive and re-arm 2MSL.
+            while (
+                a.tcp._time_wait_deadlines.get(conn.conn_id) == first_deadline
+            ):
+                yield from a.runtime.ops.sleep(ms(1))
+            second_deadline = a.tcp._time_wait_deadlines[conn.conn_id]
+            yield from a.tcp.wait_closed(conn)
+            done.succeed((first_deadline, second_deadline, conn.state))
+
+        b.runtime.fork_application(server(), "server")
+        a.runtime.fork_application(client(), "client")
+        first, second, state = system.run_until(done, limit=seconds(30))
+        assert holder["dropped"] == 1
+        assert second > first  # the 2MSL clock restarted
+        assert state is TCPState.CLOSED
+        assert not a.tcp.connections and not b.tcp.connections
+
 
 class TestTCPRecovery:
     def test_recovers_from_drops(self, system):

@@ -33,6 +33,12 @@ def test_registry_has_all_documented_rules():
         "ND001", "ND002", "ND003", "ND004", "ND005",
         "NS101", "NS102", "NS103",
         "NB201",
+        # whole-program (nectarflow) rules
+        "NB210", "NB211", "NB212",
+        "NS110", "NS111",
+        "NP301", "NP302", "NP303",
+        # lint hygiene
+        "NL001",
     }
     for rule in all_rules():
         assert rule.summary and rule.rationale
@@ -411,9 +417,129 @@ def test_syntax_error_is_a_finding_not_a_crash():
     assert payload["findings"][0]["code"] == "E999"
 
 
-def test_cli_strict_fails_on_findings(tmp_path):
+def test_cli_exit_codes_follow_compiler_convention(tmp_path):
     bad = tmp_path / "sim" / "bad.py"
     bad.parent.mkdir()
     bad.write_text("import time\n\ndef t():\n    return time.time()\n")
+    good = tmp_path / "sim" / "good.py"
+    good.write_text("def t():\n    return 1\n")
+    # Findings exit 1 whether or not --strict is set; clean runs exit 0;
+    # usage errors exit 2.  (--strict only adds NL001 reporting.)
     assert nectarlint.main([str(bad), "--strict"]) == 1
-    assert nectarlint.main([str(bad)]) == 0  # non-strict reports but passes
+    assert nectarlint.main([str(bad)]) == 1
+    assert nectarlint.main([str(good)]) == 0
+    assert nectarlint.main([]) == 2
+    assert nectarlint.main([str(tmp_path / "nope.py")]) == 2
+    assert nectarlint.main([str(bad), "--format"]) == 2
+    assert nectarlint.main([str(bad), "--format", "yaml"]) == 2
+    assert nectarlint.main([str(bad), "--no-such-flag"]) == 2
+
+
+def test_cli_select_and_ignore_affect_exit(tmp_path):
+    bad = tmp_path / "sim" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\n\ndef t():\n    return time.time()\n")
+    assert nectarlint.main([str(bad), "--select", "ND001"]) == 1
+    assert nectarlint.main([str(bad), "--ignore", "ND001"]) == 0
+    assert nectarlint.main([str(bad), "--select", "ND004"]) == 0
+
+
+# ------------------------------------------------- suppression edge cases ----
+
+
+def test_multi_code_suppression_on_one_line():
+    findings = lint(
+        """
+        import time, os
+
+        def stamp():
+            return time.time(), os.urandom(4)  # nectarlint: disable=ND001,ND003 -- fixture
+        """
+    )
+    assert "ND001" not in codes(findings)
+    assert "ND003" not in codes(findings)
+
+
+def test_disable_file_scopes_to_its_own_file():
+    suppressed = lint(
+        """
+        # determinism waived for this fixture file
+        # nectarlint: disable-file=ND001
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert "ND001" not in codes(suppressed)
+    # The same finding in a file *without* the pragma still fires.
+    other = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert "ND001" in codes(other)
+
+
+def test_disable_file_multi_code_parsing():
+    suppressions = parse_suppressions(
+        "# nectarlint: disable-file=ND001, ND003 -- fixture\n"
+    )
+    assert suppressions.active(99, "ND001")
+    assert suppressions.active(99, "ND003")
+    assert not suppressions.active(99, "ND002")
+
+
+def test_trailing_note_is_not_parsed_as_codes():
+    suppressions = parse_suppressions(
+        "x = t()  # nectarlint: disable=ND001 -- boundary, see docs\n"
+    )
+    assert suppressions.active(1, "ND001")
+    assert not suppressions.active(1, "BOUNDARY")
+    assert suppressions.unjustified == []
+
+
+def test_unjustified_suppression_reported_under_strict():
+    source = (
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # nectarlint: disable=ND001\n"
+    )
+    relaxed = nectarlint.lint_source(source, path=SIM_PATH)
+    assert codes(relaxed) == []
+    strict = nectarlint.lint_source(source, path=SIM_PATH, strict=True)
+    assert codes(strict) == ["NL001"]
+    assert strict[0].line == 4
+
+
+def test_justification_via_preceding_comment_lines():
+    source = (
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    # Boundary: host wall-clock is the subject under test here.\n"
+        "    return time.time()  # nectarlint: disable=ND001\n"
+    )
+    strict = nectarlint.lint_source(source, path=SIM_PATH, strict=True)
+    assert "NL001" not in codes(strict)
+
+
+def test_nl001_respects_select_and_ignore():
+    source = (
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # nectarlint: disable=ND001\n"
+    )
+    ignored = nectarlint.lint_source(
+        source, path=SIM_PATH, strict=True, ignore={"NL001"}
+    )
+    assert codes(ignored) == []
+    selected = nectarlint.lint_source(
+        source, path=SIM_PATH, strict=True, select={"ND003"}
+    )
+    assert codes(selected) == []

@@ -108,3 +108,111 @@ def test_set_iteration_in_cluster_gets_the_sensitive_rules():
     relaxed = nectarlint.lint_source(source, path="src/repro/bench/x.py")
     assert any(finding.code == "ND004" for finding in sensitive), sensitive
     assert not any(finding.code == "ND004" for finding in relaxed), relaxed
+
+
+# ------------------------------------------------- nectarflow static gate ----
+
+
+def test_static_gate_src_repro_clean_against_baseline(monkeypatch):
+    """The whole-program passes must be clean modulo the committed baseline.
+
+    Paths in the baseline are repo-relative, so the check runs from the
+    repo root with a relative target — exactly how CI invokes it.
+    """
+    monkeypatch.chdir(REPO)
+    findings = nectarlint._static_findings(
+        ["src/repro"], baseline_path=None, select=None, ignore=None
+    )
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"new nectarflow findings in shipped tree:\n{rendered}"
+
+
+def test_static_gate_is_clean_even_without_the_baseline(monkeypatch):
+    """The committed baseline is empty: every historical finding was
+    either fixed (the TIME_WAIT 2MSL-restart gap in tcp.py) or suppressed
+    inline with a justification, so the tree must also be clean against a
+    missing baseline.  If this fails, prefer fixing the new finding over
+    re-baselining it."""
+    monkeypatch.chdir(REPO)
+    findings = nectarlint._static_findings(
+        ["src/repro"],
+        baseline_path="does-not-exist.json",
+        select=None,
+        ignore=None,
+    )
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"unbaselined nectarflow findings:\n{rendered}"
+
+
+def test_write_baseline_grandfathers_findings_end_to_end(tmp_path):
+    """The baseline workflow on a synthetic tree: a seeded leak fails the
+    gate, --write-baseline grandfathers it, a *new* leak still fails."""
+    pkg = tmp_path / "buf_fixture"
+    pkg.mkdir()
+    leak = "def leaky(heap):\n    buf = PacketBuffer.alloc(heap, 96)\n    buf.fill_from(b'x')\n"
+    (pkg / "stage.py").write_text(leak, encoding="utf-8")
+    env = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"}
+    base = [sys.executable, "-m", "repro", "lint"]
+    baseline = str(tmp_path / "baseline.json")
+
+    fails = subprocess.run(
+        base + ["--baseline", baseline, str(pkg)],
+        capture_output=True, text=True, env=env,
+    )
+    assert fails.returncode == 1 and "NB210" in fails.stdout
+
+    wrote = subprocess.run(
+        base + ["--write-baseline", "--baseline", baseline, str(pkg)],
+        capture_output=True, text=True, env=env,
+    )
+    assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+
+    clean = subprocess.run(
+        base + ["--baseline", baseline, str(pkg)],
+        capture_output=True, text=True, env=env,
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    (pkg / "fresh.py").write_text(leak.replace("leaky", "leaky_two"), encoding="utf-8")
+    regressed = subprocess.run(
+        base + ["--baseline", baseline, str(pkg)],
+        capture_output=True, text=True, env=env,
+    )
+    assert regressed.returncode == 1 and "leaky_two" in regressed.stdout
+
+
+def test_lint_cli_static_exits_zero():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--static", "src/repro"],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO),
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "nectarlint: clean" in result.stdout
+
+
+def test_benchmarks_and_examples_use_no_host_entropy():
+    """Drivers may iterate sets for reporting, but clocks and entropy are
+    banned everywhere: a wall-clock read in a benchmark harness corrupts
+    the numbers it reports just as surely as one in the simulator."""
+    findings = nectarlint.lint_paths(
+        [str(REPO / "benchmarks"), str(REPO / "examples")],
+        select={"ND001", "ND002", "ND003"},
+    )
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"entropy findings in drivers:\n{rendered}"
+
+
+def test_docs_rule_table_in_sync():
+    """docs/analysis.md's rule table is generated; it must match the
+    registry (regenerate with render_markdown_table() on rule changes)."""
+    from repro.analysis.rules import render_markdown_table
+
+    text = (REPO / "docs" / "analysis.md").read_text(encoding="utf-8")
+    begin = "<!-- rule-table:begin -->"
+    end = "<!-- rule-table:end -->"
+    assert begin in text and end in text
+    documented = text.split(begin)[1].split(end)[0].strip()
+    assert documented == render_markdown_table().strip()

@@ -1,0 +1,92 @@
+"""SARIF output tests: the golden file pins the exact bytes.
+
+SARIF output feeds CI annotation uploads that dedupe on content, so the
+rendering must be byte-stable: independent of environment, dict order,
+or invocation count.  ``tests/golden/lint_fixture.sarif`` is the
+committed reference; regenerate it only on a deliberate format change:
+
+    PYTHONPATH=src python - <<'EOF'
+    from tests.test_sarif import FIXTURE_SOURCE, FIXTURE_PATH
+    from repro.analysis.nectarlint import lint_source
+    from repro.analysis.sarif import render_sarif
+    doc = render_sarif(lint_source(FIXTURE_SOURCE, path=FIXTURE_PATH))
+    open("tests/golden/lint_fixture.sarif", "w").write(doc + "\\n")
+    EOF
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis.nectarlint import lint_source
+from repro.analysis.sarif import render_sarif
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "tests" / "golden" / "lint_fixture.sarif"
+
+FIXTURE_PATH = "src/repro/sim/fixture.py"
+FIXTURE_SOURCE = """\
+import random
+import time
+
+
+def sample_delay_ns():
+    base = time.time()
+    return base + random.random()
+"""
+
+
+def _render_fixture() -> str:
+    return render_sarif(lint_source(FIXTURE_SOURCE, path=FIXTURE_PATH))
+
+
+def test_sarif_matches_the_committed_golden_file_byte_for_byte():
+    assert _render_fixture() + "\n" == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_sarif_is_byte_stable_across_renders():
+    assert _render_fixture() == _render_fixture()
+
+
+def test_sarif_document_shape():
+    document = json.loads(_render_fixture())
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = document["runs"]
+    assert run["tool"]["driver"]["name"] == "nectarlint"
+    # Only the rules that fired, sorted by code.
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert set(rule_ids) == {r["ruleId"] for r in run["results"]}
+    for result in run["results"]:
+        location = result["locations"][0]["physicalLocation"]
+        assert "\\" not in location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+
+def test_sarif_with_no_findings_is_a_valid_empty_run():
+    document = json.loads(render_sarif([]))
+    (run,) = document["runs"]
+    assert run["results"] == []
+    assert run["tool"]["driver"]["rules"] == []
+
+
+def test_cli_format_sarif_end_to_end(tmp_path):
+    target = tmp_path / "fixture_sim" / "bad.py"
+    target.parent.mkdir()
+    target.write_text("import time\n\nWHEN = time.time()\n", encoding="utf-8")
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": os.environ.get("PATH", "")}
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--format", "sarif", str(target)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(tmp_path),
+    )
+    assert proc.returncode == 1  # findings -> 1, even in sarif format
+    document = json.loads(proc.stdout)
+    results = document["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["ND001"]
