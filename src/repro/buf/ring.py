@@ -1,0 +1,224 @@
+"""A single-producer / single-consumer byte ring for cluster hand-offs.
+
+Process-mode shards used to pickle every :class:`~repro.hub.network.Handoff`
+across the conductor pipe.  The ring replaces that with a fixed shared-memory
+byte buffer (a ``multiprocessing`` ``RawArray`` in production, any mutable
+buffer in tests): the producer encodes hand-off records — length-prefixed,
+fixed little-endian layout, no pickle — directly into the ring storage, and
+the consumer decodes them out.  A :class:`~repro.buf.packet.BufView` payload
+is copied straight from its backing storage into the ring (the ring *is* the
+serialization boundary) and the view's reference is consumed, preserving the
+buffer plane's ownership discipline: a successful ``push`` owns the bytes,
+the pushed-from view is dead.
+
+Synchronization is external by design.  The cluster's conductor/worker pair
+strictly alternates (request over the pipe, response back), so the pipe
+messages carry the record count and provide the happens-before edge; the
+ring itself needs no locks.  ``head``/``tail`` are monotonically increasing
+byte offsets held in caller-provided one-element index objects (shared
+``RawValue('Q')`` cells in production) so both processes see the same
+positions.
+
+A full ring never blocks and never corrupts: ``push`` returns ``False``
+(backpressure) and the caller falls back to the pipe — Dagger's idiom of
+specializing the common case and keeping a fallback for the rest.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.buf.packet import BufView
+from repro.errors import BufError
+from repro.hub.network import Handoff
+
+__all__ = ["HandoffRing", "RingIndex"]
+
+#: fire_ns, created_ns, seqno (int64) + crc (uint32) + key port / key seq
+#: (int32) + payload length (uint32) + hub/dst/src name lengths + remaining
+#: hop count (uint8).
+_FIXED = struct.Struct("<qqqIiiIBBBB")
+_HOP = struct.Struct("<H")
+_LEN = struct.Struct("<I")
+
+
+class RingIndex:
+    """A one-element mutable cell for a ring position.
+
+    The in-process stand-in for a shared ``multiprocessing.RawValue('Q')``
+    (which exposes the same ``.value`` attribute); tests and inline use
+    need no multiprocessing import.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+
+class HandoffRing:
+    """SPSC ring of encoded :class:`Handoff` records over shared bytes."""
+
+    def __init__(
+        self,
+        storage,
+        head: Optional[RingIndex] = None,
+        tail: Optional[RingIndex] = None,
+        label: str = "handoff-ring",
+    ):
+        self.storage = memoryview(storage).cast("B")
+        self.capacity = len(self.storage)
+        if self.capacity < _LEN.size + _FIXED.size:
+            raise BufError(
+                f"{label}: capacity {self.capacity} cannot hold one record"
+            )
+        self.head = head if head is not None else RingIndex()
+        self.tail = tail if tail is not None else RingIndex()
+        self.label = label
+        #: Bytes accepted through the ring (producer side, monotonic).
+        self.pushed_bytes = 0
+        #: Records accepted (producer side, monotonic).
+        self.pushed_records = 0
+
+    # -- geometry -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Bytes currently enqueued."""
+        return self.tail.value - self.head.value
+
+    def free_bytes(self) -> int:
+        """Bytes of ring capacity not currently holding enqueued records."""
+        return self.capacity - len(self)
+
+    def _write(self, position: int, data) -> None:
+        """Copy ``data`` into the ring at absolute offset ``position``."""
+        start = position % self.capacity
+        nbytes = len(data)
+        first = min(nbytes, self.capacity - start)
+        self.storage[start : start + first] = data[:first]
+        if first < nbytes:
+            self.storage[0 : nbytes - first] = data[first:]
+
+    def _read(self, position: int, nbytes: int) -> bytes:
+        """Materialize ``nbytes`` from absolute offset ``position``.
+
+        The ring is the wire: decoding a record off shared storage is a
+        process-boundary copy, exactly like reading from the pipe.
+        """
+        start = position % self.capacity
+        first = min(nbytes, self.capacity - start)
+        # Decoding off the shared ring is the one sanctioned copy on this
+        # path: the bytes leave shared storage here, nowhere else.
+        data = bytes(self.storage[start : start + first])  # nectarlint: disable=NB201
+        if first < nbytes:
+            # Wrapped tail of the same process-boundary copy.
+            data += bytes(self.storage[0 : nbytes - first])  # nectarlint: disable=NB201
+        return data
+
+    # -- encoding -------------------------------------------------------------
+
+    @staticmethod
+    def _encode(handoff: Handoff) -> Tuple[bytes, object]:
+        """The record body (sans payload) and the payload's byte source."""
+        key_hub, key_port, key_seq = handoff.key
+        payload = handoff.payload
+        source = payload.mv() if isinstance(payload, BufView) else payload
+        hub_b = key_hub.encode()
+        dst_b = handoff.dst_hub.encode()
+        src_b = handoff.src.encode()
+        if max(len(hub_b), len(dst_b), len(src_b)) > 0xFF or len(
+            handoff.remaining
+        ) > 0xFF:
+            raise BufError(
+                f"hand-off record fields too large for the ring encoding"
+            )
+        body = _FIXED.pack(
+            handoff.fire_ns,
+            handoff.created_ns,
+            handoff.seqno,
+            handoff.crc & 0xFFFFFFFF,
+            key_port,
+            key_seq,
+            len(source),
+            len(hub_b),
+            len(dst_b),
+            len(src_b),
+            len(handoff.remaining),
+        )
+        body += hub_b + dst_b + src_b
+        for hop in handoff.remaining:
+            body += _HOP.pack(hop)
+        return body, source
+
+    def push(self, handoff: Handoff) -> bool:
+        """Encode one hand-off into the ring.
+
+        Returns ``False`` (and consumes nothing) when the ring lacks space;
+        on ``True`` a ``BufView`` payload has been copied into the ring and
+        its reference released — the ring owns the bytes now.
+        """
+        body, source = self._encode(handoff)
+        record = _LEN.size + len(body) + len(source)
+        if record > self.free_bytes():
+            return False
+        position = self.tail.value
+        self._write(position, _LEN.pack(len(body) + len(source)))
+        self._write(position + _LEN.size, body)
+        self._write(position + _LEN.size + len(body), source)
+        self.tail.value = position + record
+        self.pushed_bytes += record
+        self.pushed_records += 1
+        if isinstance(handoff.payload, BufView):
+            handoff.payload.release()
+        return True
+
+    def pop(self) -> Handoff:
+        """Decode the oldest record; payload comes out as ``bytes``."""
+        if len(self) == 0:
+            raise BufError(f"{self.label}: pop from an empty ring")
+        position = self.head.value
+        (body_len,) = _LEN.unpack(self._read(position, _LEN.size))
+        body = self._read(position + _LEN.size, body_len)
+        (
+            fire_ns,
+            created_ns,
+            seqno,
+            crc,
+            key_port,
+            key_seq,
+            payload_len,
+            hub_len,
+            dst_len,
+            src_len,
+            n_hops,
+        ) = _FIXED.unpack_from(body)
+        cursor = _FIXED.size
+        key_hub = body[cursor : cursor + hub_len].decode()
+        cursor += hub_len
+        dst_hub = body[cursor : cursor + dst_len].decode()
+        cursor += dst_len
+        src = body[cursor : cursor + src_len].decode()
+        cursor += src_len
+        remaining = tuple(
+            _HOP.unpack_from(body, cursor + _HOP.size * i)[0]
+            for i in range(n_hops)
+        )
+        cursor += _HOP.size * n_hops
+        payload = body[cursor : cursor + payload_len]
+        self.head.value = position + _LEN.size + body_len
+        return Handoff(
+            fire_ns=fire_ns,
+            key=(key_hub, key_port, key_seq),
+            dst_hub=dst_hub,
+            remaining=remaining,
+            payload=payload,
+            src=src,
+            crc=crc,
+            seqno=seqno,
+            created_ns=created_ns,
+        )
+
+    def pop_many(self, count: int) -> List[Handoff]:
+        """Decode ``count`` records in FIFO order."""
+        return [self.pop() for _ in range(count)]

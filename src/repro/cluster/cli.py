@@ -6,15 +6,23 @@ Examples::
     python -m repro scale --shape star --hubs 5 --workers 2
     python -m repro scale --parity --seeds 1,2,3   # reference vs sharded
     python -m repro scale --bench --json BENCH_scale.json
+    python -m repro scale --bench --skip-reference # sharded legs only
+    python -m repro scale --check                  # gate vs committed baseline
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List
 
-from repro.cluster.bench import render_bench_json, run_scale_bench
+from repro.cluster.bench import (
+    check_against_baseline,
+    default_baseline_path,
+    render_bench_json,
+    run_scale_bench,
+)
 from repro.cluster.conductor import Conductor, run_reference
 from repro.cluster.fleet import make_fleet
 from repro.cluster.partition import Partitioner
@@ -55,6 +63,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", default=None, metavar="PATH", help="write bench report to PATH"
+    )
+    parser.add_argument(
+        "--skip-reference",
+        action="store_true",
+        help="bench the sharded runs only (no serial reference, no parity verdict)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run the committed BENCH_scale.json configuration and fail "
+        "on any deterministic regression",
     )
     return parser
 
@@ -103,6 +122,7 @@ def _run_bench(args, fleet) -> int:
         _workload(args.seed),
         workers=_parse_int_list(args.workers),
         mode=args.mode,
+        skip_reference=args.skip_reference,
     )
     rendered = render_bench_json(report)
     if args.json:
@@ -117,13 +137,44 @@ def _run_bench(args, fleet) -> int:
         print(f"wrote {args.json}")
     else:
         sys.stdout.write(rendered)
-    return 0 if report["deterministic"]["parity"] else 1
+    # parity is None when the reference leg was skipped: no verdict, no failure.
+    return 1 if report["deterministic"]["parity"] is False else 0
+
+
+def _run_check(args, fleet) -> int:
+    path = default_baseline_path()
+    if not path.exists():
+        print(f"no committed baseline at {path}", file=sys.stderr)
+        return 1
+    committed = json.loads(path.read_text())
+    workers = sorted(
+        int(count) for count in committed["deterministic"]["workers"]
+    )
+    report = run_scale_bench(
+        fleet,
+        _workload(committed["config"]["workload"]["seed"]),
+        workers=workers,
+        mode=committed["config"]["mode"],
+    )
+    errors = check_against_baseline(committed, report)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    summary = ", ".join(
+        f"{count}w={report['deterministic']['workers'][str(count)]['barriers']} barriers"
+        for count in workers
+    )
+    print(f"OK: BENCH_scale.json deterministic section holds ({summary})")
+    return 0
 
 
 def main(argv: List[str]) -> int:
     """Entry point for ``python -m repro scale``; returns the exit code."""
     args = _build_parser().parse_args(argv)
     fleet = make_fleet(args.shape, args.hubs, args.cabs_per_hub, args.hub_ports)
+    if args.check:
+        return _run_check(args, fleet)
     if args.parity:
         _describe(fleet, Partitioner.partition(fleet, max(_parse_int_list(args.workers)), args.strategy))
         return _run_parity(args, fleet)

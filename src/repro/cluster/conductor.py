@@ -1,34 +1,65 @@
-"""Bounded-window conservative synchronization across shard simulators.
+"""Adaptive conservative synchronization across shard simulators.
 
-The conductor advances every shard in lock-step windows of at most the
-fleet's *lookahead* — ``CostModel.fiber_propagation_ns``, the hard lower
-bound on how soon anything emitted on one side of an inter-HUB fiber can be
-observed on the other.  A hand-off emitted at time ``s`` inside the window
-``[T, T + W)`` fires at ``s + lookahead >= T + W`` whenever ``W <=
-lookahead``, so exchanging hand-offs only at the window barrier can never
-deliver one into a shard's past.
+The original conductor advanced every shard in lock-step windows of one
+global worst-case lookahead — ``CostModel.fiber_propagation_ns``, the
+minimum time for anything to cross an inter-HUB fiber.  Safe, but slow:
+a run that needs 2,500 such windows spends almost all of them exchanging
+nothing (see docs/scaling.md for the postmortem).  This conductor keeps
+the same conservative guarantee while sizing every window from what the
+shards actually report:
 
-Between barriers the window start jumps straight to the earliest pending
-event across all shards (idle gaps cost one barrier, not thousands), and
-the run terminates when every shard is idle with nothing in flight — all
-hand-offs are drained and injected at each barrier, so "every queue empty"
-is a complete termination check.
+* **Emission bounds.**  Each shard exposes
+  :meth:`~repro.hub.network.NectarNetwork.next_emission_bound` — a proven
+  lower bound on when it could next put a hand-off on a cut fiber
+  (``None`` = never, until injected into).  Bounds come from live
+  transmission intents plus an event-to-emission floor, not from the
+  worst case.
 
-Exchange is deterministic by construction: hand-offs are sorted by
+* **Asymmetric horizons.**  :meth:`Partitioner.shard_distances` gives the
+  minimum cut-crossing cost ``D[j][i]`` between every shard pair.  Shard
+  ``i`` may safely run to ``horizon(i) = min over j != i of
+  (bound(j) + D[j][i])``, exclusive: nothing another shard does from here
+  on can be observed in ``i`` before that.  Adjacent shards constrain each
+  other by one propagation delay; distant shards by several; idle shards
+  (bound ``None``) not at all.
+
+* **Epoch grants with null-message elision.**  Per barrier, only shards
+  with work strictly before their horizon are granted an epoch
+  ``[t, horizon)``; the rest are skipped — the classic CMB null message,
+  elided.  When every other shard is provably quiet the grant is
+  unbounded and one epoch runs the whole idle tail.
+
+* **Emission-margin parking.**  A granted shard does not stop at its
+  first boundary emission; it keeps executing while its next event is
+  within the emission's causal shadow (one forwarding hop plus two
+  propagation delays away), batching chatty windows into one exchange.
+
+* **Seam fast path.**  A barrier with zero hand-offs skips the sort /
+  group / inject machinery entirely.
+
+Exchange stays deterministic by construction: hand-offs are sorted by
 ``(fire_ns, key)`` before injection, and the keys themselves (source hub,
-output port, per-site sequence) are shard-independent, so the merged result
-is a pure function of the fleet, workload, and seed — never of worker
-scheduling.  ``workers=1`` and ``workers=N`` runs, and the unsharded
-single-``Simulator`` reference, all produce bit-identical protocol-level
-results (see docs/scaling.md for the argument).
+output port, per-site sequence) are shard-independent, so the merged
+result is a pure function of the fleet, workload, and seed — never of
+worker scheduling or of the window schedule.  ``workers=1`` and
+``workers=N`` runs, and the unsharded single-``Simulator`` reference, all
+produce bit-identical protocol-level results, and inline and process
+modes take bit-identical conductor decisions (same barriers, same
+epochs) because those decisions are pure functions of the shard states.
+
+In process mode, bulk hand-off records ride per-shard shared-memory
+:class:`~repro.buf.ring.HandoffRing` pairs; the pipe carries only verbs,
+counts, and overflow (see ``runner.worker_main`` for the protocol).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field
+from multiprocessing.sharedctypes import RawArray, RawValue
 from typing import Dict, List, Optional
 
+from repro.buf.ring import HandoffRing
 from repro.cluster.fleet import FleetSpec, build_fleet_system
 from repro.cluster.partition import Partition, Partitioner
 from repro.cluster.runner import ShardRunner, worker_main
@@ -38,16 +69,23 @@ from repro.model.costs import DEFAULT_COSTS
 
 __all__ = ["Conductor", "FleetResult", "run_reference"]
 
+#: Shared-memory ring size per direction per shard.  Generously above the
+#: common per-window hand-off volume; overflow falls back to the pipe.
+RING_CAPACITY = 1 << 16
+
 
 @dataclass
 class FleetResult:
     """The merged outcome of a fleet run.
 
     ``flows`` / ``retransmits`` / ``incomplete`` are protocol-level and
-    bit-identical across worker counts; ``events`` / ``sim_ns`` /
-    ``barriers`` are meter readings that are deterministic for a given
-    worker count; ``wall_ns`` is stamped by the bench harness and is the
-    only non-deterministic field.
+    bit-identical across worker counts; ``events`` / ``sim_ns`` and the
+    conductor counters (``barriers`` through ``handoffs``) are meter
+    readings that are deterministic for a given worker count and identical
+    across inline/process modes; ``ring_bytes`` / ``pickle_bytes`` are
+    transport meters (process mode only — inline has no seam transport);
+    ``wall_ns`` is stamped by the bench harness and is the only
+    non-deterministic field.
     """
 
     n_workers: int
@@ -60,7 +98,20 @@ class FleetResult:
     incomplete: List[str] = field(default_factory=list)
     events: int = 0
     sim_ns: int = 0
+    #: synchronization rounds driven (each with at least one grant)
     barriers: int = 0
+    #: per-shard windows granted across all barriers
+    epochs: int = 0
+    #: shard-barrier slots skipped (the elided CMB null messages)
+    null_elided: int = 0
+    #: barriers that exchanged nothing and skipped the seam machinery
+    fastpath: int = 0
+    #: hand-off records exchanged across cuts
+    handoffs: int = 0
+    #: payload+record bytes that rode the shared-memory rings
+    ring_bytes: int = 0
+    #: payload bytes that overflowed to pickled pipe transport
+    pickle_bytes: int = 0
     wall_ns: int = 0
     #: merged telemetry (series snapshot / Chrome-trace events), when enabled
     metrics: Optional[dict] = None
@@ -81,20 +132,22 @@ class FleetResult:
 
 
 class _InlineShard:
-    """A shard executed in-process (debuggable, zero IPC)."""
+    """A shard executed in-process (debuggable, zero IPC, no seam transport)."""
 
     def __init__(self, fleet, partition, shard_id, workload_spec, telemetry):
         self.runner = ShardRunner(
             fleet, partition, shard_id, workload_spec, telemetry=telemetry
         )
         self._pending = None
+        self.seam_ring_bytes = 0
+        self.seam_pickle_bytes = 0
 
-    def initial_time(self):
-        return self.runner.next_time()
+    def initial_state(self):
+        return self.runner.sync_state()
 
-    def begin_advance(self, until: int) -> None:
+    def begin_advance(self, until: Optional[int]) -> None:
         self.runner.advance(until)
-        self._pending = (self.runner.take_outbox(), self.runner.next_time())
+        self._pending = (self.runner.take_outbox(), self.runner.sync_state())
 
     def finish_advance(self):
         pending, self._pending = self._pending, None
@@ -102,7 +155,7 @@ class _InlineShard:
 
     def inject(self, handoffs):
         self.runner.inject(handoffs)
-        return self.runner.next_time()
+        return self.runner.sync_state()
 
     def results(self) -> dict:
         return self.runner.results()
@@ -112,19 +165,47 @@ class _InlineShard:
 
 
 class _ProcessShard:
-    """A shard executed in a worker process, driven over a pipe."""
+    """A shard in a worker process: pipe for verbs, shared rings for bulk."""
 
     def __init__(self, context, fleet, partition, shard_id, workload_spec, telemetry):
         self.shard_id = shard_id
+        # Ring storage and index cells live in shared anonymous memory,
+        # created before the fork so both sides address the same pages.
+        tx_storage = RawArray("B", RING_CAPACITY)
+        tx_head, tx_tail = RawValue("Q", 0), RawValue("Q", 0)
+        rx_storage = RawArray("B", RING_CAPACITY)
+        rx_head, rx_tail = RawValue("Q", 0), RawValue("Q", 0)
+        # Conductor's view: pops what the worker transmits, pushes what
+        # the worker will receive.
+        self.tx_ring = HandoffRing(
+            tx_storage, tx_head, tx_tail, label=f"shard{shard_id}-tx"
+        )
+        self.rx_ring = HandoffRing(
+            rx_storage, rx_head, rx_tail, label=f"shard{shard_id}-rx"
+        )
+        self.seam_pickle_bytes = 0
         self.conn, child = context.Pipe()
         self.process = context.Process(
             target=worker_main,
-            args=(child, fleet, partition, shard_id, workload_spec, telemetry),
+            args=(
+                child,
+                fleet,
+                partition,
+                shard_id,
+                workload_spec,
+                telemetry,
+                (tx_storage, tx_head, tx_tail, rx_storage, rx_head, rx_tail),
+            ),
             name=f"nectar-shard-{shard_id}",
             daemon=True,
         )
         self.process.start()
         child.close()
+
+    @property
+    def seam_ring_bytes(self) -> int:
+        """Bytes this side pushed into the worker's inbound ring."""
+        return self.rx_ring.pushed_bytes
 
     def _recv(self):
         reply = self.conn.recv()
@@ -132,18 +213,32 @@ class _ProcessShard:
             raise RuntimeError(f"shard worker failed: {reply[1]}")
         return reply[1:]
 
-    def initial_time(self):
+    def initial_state(self):
         return self._recv()[0]
 
-    def begin_advance(self, until: int) -> None:
+    def begin_advance(self, until: Optional[int]) -> None:
         self.conn.send(("advance", until))
 
     def finish_advance(self):
-        outbox, next_time = self._recv()
-        return outbox, next_time
+        ringed, overflow, state = self._recv()
+        outbox = self.tx_ring.pop_many(ringed) if ringed else []
+        outbox.extend(overflow)
+        return outbox, state
 
     def inject(self, handoffs):
-        self.conn.send(("inject", handoffs))
+        ringed = 0
+        overflow = []
+        use_ring = True
+        for handoff in handoffs:
+            if use_ring and self.rx_ring.push(handoff):
+                ringed += 1
+            else:
+                # First miss flips the whole remainder to the pipe so the
+                # worker reconstructs the batch in FIFO order.
+                use_ring = False
+                self.seam_pickle_bytes += len(handoff.payload)
+                overflow.append(handoff)
+        self.conn.send(("inject", ringed, overflow))
         return self._recv()[0]
 
     def results(self) -> dict:
@@ -175,7 +270,7 @@ def _fork_context():
 
 
 class Conductor:
-    """Partition a fleet, run its shards in lock-step, merge the results."""
+    """Partition a fleet, run its shards in adaptive epochs, merge results."""
 
     def __init__(
         self,
@@ -196,7 +291,12 @@ class Conductor:
         self.mode = mode
         self.partition = Partitioner.partition(fleet, n_workers, strategy)
         self.telemetry = telemetry
+        #: One fiber's propagation delay: the per-cut unit of lookahead.
         self.lookahead_ns = DEFAULT_COSTS.fiber_propagation_ns
+        #: Minimum cut-crossing cost between every shard pair, in ns.
+        self.distances = Partitioner.shard_distances(
+            fleet, self.partition, self.lookahead_ns
+        )
         self.limit_ns = limit_ns
         self._hub_shard = {
             hub: shard_id
@@ -233,11 +333,28 @@ class Conductor:
             for shard in shards:
                 shard.stop()
 
+    def _horizon(self, states, index: int) -> Optional[int]:
+        """Exclusive safe-run bound for one shard, from everyone else's
+        emission bounds plus the inter-shard distance matrix.  ``None``
+        means unconstrained: every other shard is provably quiet."""
+        horizon = None
+        for j, (_t, bound) in enumerate(states):
+            if j == index or bound is None:
+                continue
+            distance = self.distances[j][index]
+            if distance is None:
+                continue
+            reach = bound + distance
+            if horizon is None or reach < horizon:
+                horizon = reach
+        return horizon
+
     def _drive(self, shards) -> FleetResult:
-        times = [shard.initial_time() for shard in shards]
-        barriers = 0
+        states = [shard.initial_state() for shard in shards]
+        n = len(shards)
+        barriers = epochs = null_elided = fastpath = total_handoffs = 0
         while True:
-            pending = [t for t in times if t is not None]
+            pending = [t for t, _bound in states if t is not None]
             if not pending:
                 break
             start = min(pending)
@@ -246,31 +363,60 @@ class Conductor:
                     f"fleet still active past limit ({start} > {self.limit_ns} ns); "
                     f"incomplete flows or a runaway timer?"
                 )
-            # Inclusive window [start, start + lookahead): a hand-off emitted
-            # at time s >= start fires at s + lookahead >= the next window.
-            until = start + self.lookahead_ns - 1
-            for shard in shards:
-                shard.begin_advance(until)
-            handoffs = []
-            for index, shard in enumerate(shards):
-                outbox, times[index] = shard.finish_advance()
-                handoffs.extend(outbox)
+            # Grant an epoch [t, horizon) to every shard whose next event
+            # is strictly inside its horizon; skip the rest (their CMB
+            # null message is thereby elided).  The minimum-time shard is
+            # always grantable — its horizon exceeds its own next event —
+            # so every barrier makes progress.
+            grants = []
+            for index in range(n):
+                next_time = states[index][0]
+                if next_time is None:
+                    null_elided += 1
+                    continue
+                horizon = self._horizon(states, index)
+                if horizon is not None and next_time >= horizon:
+                    null_elided += 1
+                    continue
+                grants.append(
+                    (index, None if horizon is None else horizon - 1)
+                )
+            if not grants:  # pragma: no cover - would break the progress proof
+                raise RuntimeError(
+                    f"conductor deadlock: no shard grantable at t={start}"
+                )
+            for index, until in grants:
+                shards[index].begin_advance(until)
+            window = []
+            for index, until in grants:
+                outbox, states[index] = shards[index].finish_advance()
+                window.extend(outbox)
             barriers += 1
-            if not handoffs:
+            epochs += len(grants)
+            if not window:
+                fastpath += 1
                 continue
-            handoffs.sort(key=lambda h: (h.fire_ns, h.key))
+            total_handoffs += len(window)
+            window.sort(key=lambda h: (h.fire_ns, h.key))
             by_shard = {}
-            for handoff in handoffs:
+            for handoff in window:
                 by_shard.setdefault(
                     self._hub_shard[handoff.dst_hub], []
                 ).append(handoff)
             for shard_id, batch in sorted(by_shard.items()):
-                times[shard_id] = shards[shard_id].inject(batch)
-        return self._merge([shard.results() for shard in shards], barriers)
+                states[shard_id] = shards[shard_id].inject(batch)
+        counters = {
+            "barriers": barriers,
+            "epochs": epochs,
+            "null_elided": null_elided,
+            "fastpath": fastpath,
+            "handoffs": total_handoffs,
+        }
+        return self._merge([shard.results() for shard in shards], shards, counters)
 
-    def _merge(self, shard_results, barriers: int) -> FleetResult:
+    def _merge(self, shard_results, shards, counters) -> FleetResult:
         result = FleetResult(
-            n_workers=self.partition.n_shards, mode=self.mode, barriers=barriers
+            n_workers=self.partition.n_shards, mode=self.mode, **counters
         )
         for shard in shard_results:
             overlap = set(result.flows) & set(shard["flows"])
@@ -281,13 +427,29 @@ class Conductor:
             result.incomplete.extend(shard["incomplete"])
             result.events += shard["events"]
             result.sim_ns = max(result.sim_ns, shard["sim_ns"])
+            seam = shard.get("seam")
+            if seam:
+                result.ring_bytes += seam["ring_bytes"]
+                result.pickle_bytes += seam["pickle_bytes"]
+        for shard in shards:
+            result.ring_bytes += shard.seam_ring_bytes
+            result.pickle_bytes += shard.seam_pickle_bytes
         if self.telemetry:
             from repro.cluster.merge import merge_metrics, merge_traces
 
             harvests = [shard.get("telemetry", {}) for shard in shard_results]
-            result.metrics = merge_metrics(
-                [h.get("metrics", {}) for h in harvests]
-            )
+            metrics = merge_metrics([h.get("metrics", {}) for h in harvests])
+            for name, value in (
+                ("cluster.barriers", result.barriers),
+                ("cluster.epochs", result.epochs),
+                ("cluster.fastpath", result.fastpath),
+                ("cluster.handoffs", result.handoffs),
+                ("cluster.null_elided", result.null_elided),
+                ("cluster.pickle_bytes", result.pickle_bytes),
+                ("cluster.ring_bytes", result.ring_bytes),
+            ):
+                metrics[name] = {"type": "counter", "value": value}
+            result.metrics = dict(sorted(metrics.items()))
             result.trace = merge_traces([h.get("trace", []) for h in harvests])
         result.flows = dict(sorted(result.flows.items()))
         result.retransmits = dict(sorted(result.retransmits.items()))

@@ -187,6 +187,7 @@ def _build(
     spec: FleetSpec,
     local_hub_names,
     costs: Optional[CostModel],
+    active_cabs=None,
 ) -> NectarSystem:
     system = NectarSystem(costs=costs)
     hubs = {}
@@ -195,7 +196,8 @@ def _build(
     for hub_a, port_a, hub_b, port_b in spec.links:
         system.connect_hubs(hubs[hub_a], port_a, hubs[hub_b], port_b)
     for cab_name, hub_name, port in spec.cabs:
-        if local_hub_names is None or hub_name in local_hub_names:
+        local = local_hub_names is None or hub_name in local_hub_names
+        if local and (active_cabs is None or cab_name in active_cabs):
             system.add_node(cab_name, hubs[hub_name], port)
         else:
             system.add_remote_node(cab_name, hubs[hub_name], port)
@@ -213,8 +215,16 @@ def build_shard_system(
     spec: FleetSpec,
     local_hub_names: Iterable[str],
     costs: Optional[CostModel] = None,
+    active_cabs: Optional[Iterable[str]] = None,
 ) -> NectarSystem:
     """One shard's view: full stacks on its hubs, ghosts elsewhere.
+
+    ``active_cabs``, when given, narrows stack construction further: a CAB
+    on a local hub that is *not* in the set is built as a ghost too.  The
+    cluster runner passes the workload's flow endpoints here — a CAB no
+    flow touches boots a stack that then sits idle, so eliding it changes
+    no observable protocol result (its retransmit counters are synthesized
+    as zero, which is provably what the reference reports for it).
 
     The caller still has to install ``network.boundary_egress`` before
     traffic crosses a cut.
@@ -223,6 +233,6 @@ def build_shard_system(
     unknown = sorted(local - set(spec.hubs))
     if unknown:
         raise ConfigurationError(f"shard names unknown hubs: {unknown}")
-    system = _build(spec, local, costs)
+    system = _build(spec, local, costs, active_cabs=active_cabs)
     system.network.local_hubs = local
     return system

@@ -9,6 +9,7 @@ as guaranteed lookahead.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.cluster.fleet import FleetSpec
@@ -88,3 +89,45 @@ class Partitioner:
             for link in spec.links
             if partition.shard_of(link[0]) != partition.shard_of(link[2])
         )
+
+    @staticmethod
+    def shard_distances(
+        spec: FleetSpec, partition: Partition, link_ns: int
+    ) -> tuple:
+        """All-pairs minimum cut-crossing cost between shards, in ns.
+
+        ``D[a][b]`` lower-bounds how much simulated time any causal chain
+        leaving shard ``a`` needs before it can *arrive* in shard ``b``:
+        every path crosses at least ``hops(a, b)`` severed fibers, each
+        costing at least one ``link_ns`` propagation delay (forwarding time
+        inside intermediate shards only adds to that, so BFS hop count is a
+        safe under-approximation).  This is the *asymmetric lookahead*
+        matrix the conductor's per-shard horizons are built from: adjacent
+        shards constrain each other by one propagation delay, distant
+        shards by several.  ``D[a][a] == 0``; unreachable pairs (a severed
+        fleet) are ``None`` — no constraint at all.
+        """
+        n = partition.n_shards
+        adjacency = [set() for _ in range(n)]
+        for hub_a, _pa, hub_b, _pb in spec.links:
+            a, b = partition.shard_of(hub_a), partition.shard_of(hub_b)
+            if a != b:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        rows = []
+        for source in range(n):
+            hops = {source: 0}
+            frontier = deque([source])
+            while frontier:
+                here = frontier.popleft()
+                for neighbor in sorted(adjacency[here]):
+                    if neighbor not in hops:
+                        hops[neighbor] = hops[here] + 1
+                        frontier.append(neighbor)
+            rows.append(
+                tuple(
+                    hops[dest] * link_ns if dest in hops else None
+                    for dest in range(n)
+                )
+            )
+        return tuple(rows)

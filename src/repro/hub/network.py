@@ -136,7 +136,23 @@ class _HubForwarder:
                 f"exhausted route"
             )
         port = remaining[0]
-        self._queues.setdefault(port, deque()).append((remaining, frame))
+        network = self.network
+        token = None
+        if len(remaining) > 1 and network.local_hubs is not None:
+            attachment = self.hub.attachment(port)
+            if (
+                attachment.kind is PortKind.HUB
+                and attachment.target.name not in network.local_hubs
+            ):
+                # Cut-bound forward: register the emission intent at chain
+                # start so the shard's emission bound covers the frame even
+                # while it queues for the port.
+                token = network._intent_register(
+                    network.sim.now
+                    + network.costs.hub_hop_ns
+                    + network._tx_floor_ns(frame.size)
+                )
+        self._queues.setdefault(port, deque()).append((remaining, frame, token))
         if port not in self._active:
             self._active.add(port)
             self.network.sim.process(
@@ -147,12 +163,14 @@ class _HubForwarder:
         queue = self._queues[port]
         try:
             while queue:
-                remaining, frame = queue.popleft()
-                yield from self._forward_one(port, remaining, frame)
+                remaining, frame, token = queue.popleft()
+                yield from self._forward_one(port, remaining, frame, token)
         finally:
             self._active.discard(port)
 
-    def _forward_one(self, port: int, remaining: tuple, frame: Frame) -> Generator:
+    def _forward_one(
+        self, port: int, remaining: tuple, frame: Frame, token: Optional[int] = None
+    ) -> Generator:
         network = self.network
         costs = network.costs
         attachment = self.hub.attachment(port)
@@ -184,6 +202,7 @@ class _HubForwarder:
                 )
         finally:
             self.hub.release_output(port)
+            network._intent_clear(token)
 
     def _stream_to_cab(self, dest: NetworkNode, frame: Frame) -> Generator:
         dest_fifo = dest.fiber_in.fifo
@@ -276,6 +295,65 @@ class NectarNetwork:
         #: Per (hub, out port) hand-off counter: the shard-independent
         #: tie-break for arrivals scheduled at the same nanosecond.
         self._handoff_seq: Dict[tuple[str, int], int] = {}
+        #: Live cut-bound transmissions: token -> conservative lower bound
+        #: (ns) on when that frame's hand-off can be emitted.  Registered
+        #: the moment a frame *starts* toward a cut (before any yield) and
+        #: cleared at emission, so :meth:`next_emission_bound` always sees
+        #: in-flight traffic — the signal behind the cluster conductor's
+        #: adaptive lookahead.
+        self._intents: Dict[int, int] = {}
+        self._intent_next = 0
+
+    # -- emission bounds (the cluster conductor's adaptive lookahead) -----------
+
+    def _intent_register(self, bound_ns: int) -> int:
+        self._intent_next += 1
+        self._intents[self._intent_next] = bound_ns
+        return self._intent_next
+
+    def _intent_clear(self, token: Optional[int]) -> None:
+        if token is not None:
+            self._intents.pop(token, None)
+
+    def _tx_floor_ns(self, size: int) -> int:
+        """Provable lower bound on serializing ``size`` bytes at line rate.
+
+        The actual cost is a sum of per-chunk ``int(round(len * rate))``
+        timeouts; each chunk can round down by at most half a nanosecond,
+        and there are at most ``size`` chunks, hence the ``- 0.5 * size``.
+        """
+        return max(0, int(size * (self.costs.fiber_ns_per_byte - 0.5)))
+
+    def min_emission_delta_ns(self) -> int:
+        """Minimum ns between *any* fresh event and a hand-off emission.
+
+        Every path to :meth:`_handoff` that is not already covered by a
+        registered intent starts inside some event and then pays at least a
+        hub hop plus one byte of line-rate serialization (the forwarder
+        path; the link path pays hub setup + fiber propagation, which is
+        more).  So a shard whose earliest pending event is at ``t`` cannot
+        emit before ``t + min_emission_delta_ns()``.
+        """
+        return self.costs.hub_hop_ns + self._tx_floor_ns(1)
+
+    def next_emission_bound(self) -> Optional[int]:
+        """Conservative lower bound on this shard's next boundary emission.
+
+        ``None`` means provably no emission before the next injection: the
+        shard has no pending events and no cut-bound frame in flight.  An
+        intent's bound is clamped up to the earliest pending event time —
+        emissions only happen inside events — which keeps stale bounds
+        (a transmission blocked on flow control past its floor) safe
+        without making them sticky.
+        """
+        t_next = self.sim.peek_next_time()
+        bounds = []
+        if self._intents:
+            floor = t_next if t_next is not None else self.sim.now
+            bounds.append(max(min(self._intents.values()), floor))
+        if t_next is not None:
+            bounds.append(t_next + self.min_emission_delta_ns())
+        return min(bounds) if bounds else None
 
     # -- construction -----------------------------------------------------------
 
@@ -425,16 +503,32 @@ class NectarNetwork:
         hub, _port = self.topology.hub_of(node.name)
         out_port = frame.route[0]
         attachment = hub.attachment(out_port)
-        yield hub.acquire_output(out_port)
-        try:
-            yield self.sim.timeout(
-                self.costs.hub_setup_ns + self.costs.fiber_propagation_ns
+        token = None
+        if self.local_hubs is not None and attachment.target.name not in self.local_hubs:
+            # The frame is headed across a shard cut: declare the earliest
+            # instant its hand-off could be emitted (ignores port
+            # contention and FIFO waits, which only delay it).
+            token = self._intent_register(
+                self.sim.now
+                + self.costs.hub_setup_ns
+                + self.costs.fiber_propagation_ns
+                + self._tx_floor_ns(frame.size)
             )
-            yield from self._consume_frame(fifo, first_chunk)
+        try:
+            yield hub.acquire_output(out_port)
+            try:
+                yield self.sim.timeout(
+                    self.costs.hub_setup_ns + self.costs.fiber_propagation_ns
+                )
+                yield from self._consume_frame(fifo, first_chunk)
+            finally:
+                hub.release_output(out_port)
+            self.stats.add("frames_forwarded")
+            self._handoff(
+                hub, out_port, attachment.target.name, frame.route[1:], frame
+            )
         finally:
-            hub.release_output(out_port)
-        self.stats.add("frames_forwarded")
-        self._handoff(hub, out_port, attachment.target.name, frame.route[1:], frame)
+            self._intent_clear(token)
 
     def _handoff(
         self,

@@ -402,8 +402,20 @@ class Simulator:
         event._fire()
         return True
 
-    def run(self, until: Optional[int] = None) -> int:
+    def run(
+        self,
+        until: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> int:
         """Run until the queue drains or simulated time reaches ``until``.
+
+        ``stop``, when given, is consulted before each step; a True return
+        halts execution *before* the next event fires.  A run halted by
+        ``stop`` — or one that exhausts its window while the predicate
+        holds — leaves ``now`` at the last fired event (the clock is not
+        advanced to ``until``), so the caller can resume exactly where it
+        stopped — this is how a cluster shard parks itself the moment a
+        cross-shard hand-off leaves its safety margin.
 
         Returns the simulation time at which execution stopped.
         """
@@ -411,14 +423,37 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
-            if until is None:
+            if until is None and stop is None:
                 while self.step():
                     pass
-            else:
+            elif stop is None:
                 until = int(until)
                 while self._queue and self._queue[0][0] <= until:
                     self.step()
                 if self.now < until:
+                    self.now = until
+            else:
+                if until is not None:
+                    until = int(until)
+                stopped = False
+                while self._queue and (
+                    until is None or self._queue[0][0] <= until
+                ):
+                    if stop():
+                        stopped = True
+                        break
+                    self.step()
+                # Advancing the clock to ``until`` is only legal when the
+                # stop predicate holds nothing back: a shard parked on an
+                # undelivered emission may be re-entered by that emission's
+                # echo well before ``until``, so its clock must stay at the
+                # last fired event.
+                if (
+                    not stopped
+                    and until is not None
+                    and self.now < until
+                    and not stop()
+                ):
                     self.now = until
         finally:
             self._running = False

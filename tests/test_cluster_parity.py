@@ -10,7 +10,7 @@ for every seed.  See docs/scaling.md for why this holds by construction.
 import pytest
 
 from repro.cluster.conductor import Conductor, run_reference
-from repro.cluster.fleet import line_fleet, star_fleet
+from repro.cluster.fleet import fat_tree_fleet, line_fleet, star_fleet
 from repro.cluster.workload import WorkloadSpec
 
 # The acceptance rig: 4 HUBs in a line, 16 CABs each.
@@ -62,6 +62,47 @@ def test_partition_strategy_does_not_change_results():
     contiguous = Conductor(fleet, workload, n_workers=3, strategy="contiguous").run()
     scattered = Conductor(fleet, workload, n_workers=3, strategy="round-robin").run()
     assert contiguous.protocol_digest() == scattered.protocol_digest()
+
+
+# -- the full matrix: seeds x worker counts x modes x topologies -------------
+#
+# Every rig has eight hubs so the 8-worker split is a real one-hub-per-shard
+# partition; workloads are kept light so the whole matrix stays tier-1
+# friendly.  The reference digest is computed once per (topology, seed).
+
+MATRIX_RIGS = {
+    "line": line_fleet(8, 2, hub_ports=8),
+    "star": star_fleet(8, 2, hub_ports=10),
+    "fat-tree": fat_tree_fleet(2, 6, 2, hub_ports=10),
+}
+MATRIX_SEEDS = [0, 1, 2]
+MATRIX_WORKERS = (1, 2, 4, 8)
+MATRIX_MODES = ("inline", "process")
+
+
+def light_workload(seed: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        seed=seed, rmp_flows=2, rpc_flows=2, tcp_flows=1, tcp_bytes=1024
+    )
+
+
+@pytest.mark.parametrize("seed", MATRIX_SEEDS)
+@pytest.mark.parametrize("shape", sorted(MATRIX_RIGS))
+def test_parity_matrix(shape, seed):
+    fleet = MATRIX_RIGS[shape]
+    workload = light_workload(seed)
+    reference = run_reference(fleet, workload)
+    assert reference.incomplete == []
+    digest = reference.protocol_digest()
+    for n_workers in MATRIX_WORKERS:
+        for mode in MATRIX_MODES:
+            result = Conductor(
+                fleet, workload, n_workers=n_workers, mode=mode
+            ).run()
+            assert result.protocol_digest() == digest, (
+                f"{shape} seed={seed} workers={n_workers} mode={mode} "
+                f"diverged from the reference"
+            )
 
 
 def test_completion_times_are_plausible():

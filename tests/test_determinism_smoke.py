@@ -5,9 +5,19 @@ fresh simulators and asserts the two runs are bit-for-bit identical: same
 trace events at the same nanosecond timestamps, same latency samples, same
 final simulated clock.  Any hidden global state, wall-clock dependence, or
 iteration-order nondeterminism in the stack breaks this test.
+
+The sharded cluster gets the same treatment: a 4-worker run executed twice
+must be byte-identical end to end — protocol results, conductor counters,
+and the merged telemetry (including the ``cluster.*`` counter series and
+the merged Chrome trace).
 """
 
+import json
+
 from repro.analysis.driver import determinism_check, trace_signature
+from repro.cluster.conductor import Conductor
+from repro.cluster.fleet import line_fleet
+from repro.cluster.workload import WorkloadSpec
 
 
 def test_datagram_rtt_trace_is_reproducible():
@@ -28,3 +38,55 @@ def test_determinism_check_passes():
     ok, message = determinism_check(rounds=6)
     assert ok, message
     assert message.startswith("determinism: OK")
+
+
+def _sharded_run_bytes() -> bytes:
+    """One telemetry-enabled 4-worker sharded run, fully serialized."""
+    fleet = line_fleet(4, 4, hub_ports=8)
+    workload = WorkloadSpec(
+        seed=13, rmp_flows=3, rpc_flows=2, tcp_flows=1, tcp_bytes=2048
+    )
+    result = Conductor(fleet, workload, n_workers=4, telemetry=True).run()
+    return json.dumps(
+        {
+            "digest": result.protocol_digest(),
+            "events": result.events,
+            "sim_ns": result.sim_ns,
+            "counters": {
+                "barriers": result.barriers,
+                "epochs": result.epochs,
+                "null_elided": result.null_elided,
+                "fastpath": result.fastpath,
+                "handoffs": result.handoffs,
+                "ring_bytes": result.ring_bytes,
+                "pickle_bytes": result.pickle_bytes,
+            },
+            "metrics": result.metrics,
+            "trace": result.trace,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+
+
+def test_sharded_run_is_byte_identical_across_executions():
+    first = _sharded_run_bytes()
+    second = _sharded_run_bytes()
+    assert first == second
+    # The serialized state really covers the new machinery: the merged
+    # metrics must carry the conductor's cluster.* counter series.
+    payload = json.loads(first)
+    for name in (
+        "cluster.barriers",
+        "cluster.epochs",
+        "cluster.null_elided",
+        "cluster.fastpath",
+        "cluster.handoffs",
+        "cluster.ring_bytes",
+        "cluster.pickle_bytes",
+    ):
+        assert payload["metrics"][name]["type"] == "counter"
+    assert payload["counters"]["barriers"] > 0
+    assert payload["metrics"]["cluster.barriers"]["value"] == (
+        payload["counters"]["barriers"]
+    )

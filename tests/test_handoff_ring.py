@@ -1,0 +1,203 @@
+"""The shared-memory hand-off ring: encoding, wraparound, backpressure,
+frame ownership, and a fuzz run against a list-model oracle.
+
+The ring is the cluster's seam transport (`repro.buf.ring.HandoffRing`):
+a single-producer / single-consumer byte ring that replaces pickling
+every `Handoff` over the conductor pipe.  These tests drive it over a
+plain ``bytearray`` — the storage-agnostic seam the production path fills
+with a ``multiprocessing.RawArray``.
+"""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.buf.packet import PacketBuffer
+from repro.buf.ring import HandoffRing
+from repro.errors import BufError
+from repro.hub.network import Handoff
+
+
+def make_handoff(
+    seqno: int,
+    payload=b"payload-bytes",
+    fire_ns: int = 1_000,
+    remaining=(3, 1),
+    dst_hub: str = "hub01",
+) -> Handoff:
+    return Handoff(
+        fire_ns=fire_ns,
+        key=("hub00", 7, seqno),
+        dst_hub=dst_hub,
+        remaining=tuple(remaining),
+        payload=payload,
+        src="cab-00-03",
+        crc=0xDEADBEEF,
+        seqno=seqno,
+        created_ns=fire_ns - 250,
+    )
+
+
+def ring_of(capacity: int) -> HandoffRing:
+    return HandoffRing(bytearray(capacity), label="test-ring")
+
+
+class TestRoundtrip:
+    def test_every_field_survives(self):
+        ring = ring_of(4096)
+        original = make_handoff(42, payload=b"\x00\x01\xffhello", fire_ns=123456)
+        assert ring.push(original)
+        decoded = ring.pop()
+        assert decoded == original
+        assert isinstance(decoded.payload, bytes)
+
+    def test_empty_payload_and_no_remaining_hops(self):
+        ring = ring_of(4096)
+        assert ring.push(make_handoff(1, payload=b"", remaining=()))
+        decoded = ring.pop()
+        assert decoded.payload == b""
+        assert decoded.remaining == ()
+
+    def test_fifo_order_preserved(self):
+        ring = ring_of(4096)
+        originals = [make_handoff(i, payload=bytes([i]) * i) for i in range(10)]
+        for handoff in originals:
+            assert ring.push(handoff)
+        assert ring.pop_many(10) == originals
+        assert len(ring) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(BufError):
+            ring_of(4096).pop()
+
+    def test_oversized_name_rejected(self):
+        ring = ring_of(4096)
+        with pytest.raises(BufError):
+            ring.push(make_handoff(1, dst_hub="h" * 300))
+
+
+class TestWraparound:
+    def test_records_split_across_the_physical_end(self):
+        # Capacity chosen so records land on awkward offsets and every
+        # push/pop pair slides the window until it must wrap.
+        ring = ring_of(160)
+        for round_no in range(64):
+            payload = bytes([round_no & 0xFF]) * (round_no % 23)
+            assert ring.push(make_handoff(round_no, payload=payload))
+            decoded = ring.pop()
+            assert decoded.payload == payload
+            assert decoded.seqno == round_no
+        # Positions are monotonic byte offsets, well past the capacity.
+        assert ring.head.value == ring.tail.value > 160
+
+    def test_interleaved_push_pop_with_occupancy(self):
+        ring = ring_of(512)
+        expected = deque()
+        seq = 0
+        for _ in range(40):
+            while ring.push(make_handoff(seq, payload=b"x" * (seq % 37))):
+                expected.append(seq)
+                seq += 1
+            # Ring full: drain two, continue.
+            for _ in range(2):
+                assert ring.pop().seqno == expected.popleft()
+        while expected:
+            assert ring.pop().seqno == expected.popleft()
+
+
+class TestBackpressure:
+    def test_full_ring_refuses_without_corruption(self):
+        ring = ring_of(256)
+        accepted = 0
+        while ring.push(make_handoff(accepted, payload=b"q" * 32)):
+            accepted += 1
+        assert accepted > 0
+        # The refusal consumed nothing: every accepted record pops intact.
+        assert not ring.push(make_handoff(99, payload=b"q" * 32))
+        for seqno in range(accepted):
+            assert ring.pop().seqno == seqno
+
+    def test_space_reappears_after_pop(self):
+        ring = ring_of(256)
+        while ring.push(make_handoff(0, payload=b"q" * 32)):
+            pass
+        ring.pop()
+        assert ring.push(make_handoff(1, payload=b"q" * 32))
+
+    def test_tiny_ring_rejected_at_construction(self):
+        with pytest.raises(BufError):
+            ring_of(8)
+
+
+class TestFrameOwnership:
+    def test_successful_push_consumes_the_view(self):
+        view = PacketBuffer.alloc(16, label="seam-frame")
+        view.fill_from(b"0123456789abcdef")
+        ring = ring_of(4096)
+        assert ring.push(make_handoff(1, payload=view))
+        # The ring owns the bytes now; the view was released and its
+        # backing buffer freed — zero live buffers after the push.
+        assert view.buffer.freed
+        with pytest.raises(BufError):
+            view.mv()
+        assert ring.pop().payload == b"0123456789abcdef"
+
+    def test_refused_push_leaves_the_view_alive(self):
+        view = PacketBuffer.alloc(64, label="seam-frame")
+        view.fill_from(bytes(64))
+        ring = ring_of(96)  # too small for the record
+        assert not ring.push(make_handoff(1, payload=view))
+        assert not view.buffer.freed
+        assert view.mv()[0] == 0
+        view.release()
+        assert view.buffer.freed
+
+    def test_retained_view_survives_the_push(self):
+        # A second reference keeps the storage alive past the ring copy,
+        # mirroring a sender that still owns the frame.
+        view = PacketBuffer.alloc(8, label="seam-frame")
+        view.fill_from(b"AAAABBBB")
+        view.retain()
+        ring = ring_of(4096)
+        assert ring.push(make_handoff(1, payload=view))
+        assert not view.buffer.freed
+        view.release()
+        assert view.buffer.freed
+
+
+class TestFuzzAgainstOracle:
+    def test_random_push_pop_matches_list_model(self):
+        rng = random.Random(1234)
+        ring = ring_of(768)
+        oracle = deque()
+        seq = 0
+        pushes = pops = refusals = 0
+        for _step in range(5000):
+            if rng.random() < 0.55:
+                handoff = make_handoff(
+                    seq,
+                    payload=bytes(rng.randrange(256) for _ in range(rng.randrange(90))),
+                    fire_ns=rng.randrange(1, 10_000_000),
+                    remaining=tuple(
+                        rng.randrange(16) for _ in range(rng.randrange(4))
+                    ),
+                )
+                if ring.push(handoff):
+                    oracle.append(handoff)
+                    pushes += 1
+                    seq += 1
+                else:
+                    refusals += 1
+            elif oracle:
+                assert ring.pop() == oracle.popleft()
+                pops += 1
+            else:
+                with pytest.raises(BufError):
+                    ring.pop()
+        while oracle:
+            assert ring.pop() == oracle.popleft()
+        assert len(ring) == 0
+        # The run must actually have exercised all three behaviours.
+        assert pushes > 1000 and pops > 500 and refusals > 0
+        assert ring.pushed_records == pushes

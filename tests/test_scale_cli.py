@@ -1,14 +1,25 @@
 """The ``python -m repro scale`` CLI and its BENCH_scale.json contract."""
 
+import copy
 import json
 import pathlib
+import subprocess
+import sys
 
 import pytest
 
 from repro.cluster import cli
-from repro.cluster.bench import render_bench_json, run_scale_bench
+from repro.cluster.bench import (
+    check_against_baseline,
+    default_baseline_path,
+    render_bench_json,
+    run_scale_bench,
+)
 from repro.cluster.fleet import line_fleet
 from repro.cluster.workload import WorkloadSpec
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
 
 FLEET = line_fleet(3, 2, hub_ports=8)
 LOAD = WorkloadSpec(seed=4, rmp_flows=2, rpc_flows=1, tcp_flows=1, tcp_bytes=1024)
@@ -39,6 +50,28 @@ class TestBenchReport:
         workers = report["measured"]["workers"]
         assert workers["1"]["speedup_vs_1worker"] == 1.0
         assert workers["2"]["events_per_sec"] > 0
+        assert report["measured"]["cpus"] >= 1
+
+    def test_worker_sections_carry_epoch_and_ring_fields(self):
+        report = run_scale_bench(FLEET, LOAD, workers=[2], mode="inline")
+        worker = report["deterministic"]["workers"]["2"]
+        for key in (
+            "events", "sim_ns", "barriers", "epochs", "null_elided",
+            "fastpath", "handoffs", "ring_bytes", "pickle_bytes",
+        ):
+            assert key in worker, key
+        assert worker["epochs"] + worker["null_elided"] == 2 * worker["barriers"]
+
+    def test_skip_reference_drops_the_serial_leg(self):
+        report = run_scale_bench(
+            FLEET, LOAD, workers=[2], mode="inline", skip_reference=True
+        )
+        assert report["deterministic"]["parity"] is None
+        assert report["deterministic"]["reference"] is None
+        assert report["measured"]["reference"] is None
+        assert report["deterministic"]["workers"]["2"]["events"] > 0
+        # Still renders to stable bytes with the nulls in place.
+        assert render_bench_json(report) == render_bench_json(report)
 
     def test_render_is_byte_stable_for_a_given_report(self):
         report = run_scale_bench(FLEET, LOAD, workers=[1], mode="inline")
@@ -77,10 +110,80 @@ class TestScaleCLI:
         with pytest.raises(SystemExit):
             cli.main(["--shape", "ring"])
 
+    def test_skip_reference_bench_exits_zero_without_parity(self, capsys):
+        assert cli.main(
+            small_args("--bench", "--skip-reference", "--workers", "1,2")
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["deterministic"]["parity"] is None
+
+
+class TestCheckGate:
+    def fresh_report(self):
+        return run_scale_bench(FLEET, LOAD, workers=[1, 2], mode="inline")
+
+    def test_identical_reports_pass(self):
+        report = self.fresh_report()
+        assert check_against_baseline(copy.deepcopy(report), report) == []
+
+    def test_barrier_regression_is_caught(self):
+        fresh = self.fresh_report()
+        committed = copy.deepcopy(fresh)
+        committed["deterministic"]["workers"]["2"]["barriers"] -= 1
+        errors = check_against_baseline(committed, fresh)
+        assert any("barriers regressed" in error for error in errors)
+
+    def test_ring_spill_is_caught(self):
+        fresh = self.fresh_report()
+        fresh["deterministic"]["workers"]["2"]["pickle_bytes"] += 4096
+        errors = check_against_baseline(copy.deepcopy(fresh), fresh)
+        assert errors == []  # committed carries the same spill
+        committed = copy.deepcopy(fresh)
+        committed["deterministic"]["workers"]["2"]["pickle_bytes"] = 0
+        errors = check_against_baseline(committed, fresh)
+        assert any("spilled" in error for error in errors)
+
+    def test_parity_break_is_caught(self):
+        fresh = self.fresh_report()
+        committed = copy.deepcopy(fresh)
+        fresh["deterministic"]["parity"] = False
+        errors = check_against_baseline(committed, fresh)
+        assert any("parity broken" in error for error in errors)
+
+    def test_counter_drift_is_caught(self):
+        fresh = self.fresh_report()
+        committed = copy.deepcopy(fresh)
+        committed["deterministic"]["workers"]["1"]["events"] += 1
+        errors = check_against_baseline(committed, fresh)
+        assert any("diverged" in error for error in errors)
+
+    def test_config_mismatch_is_its_own_error(self):
+        fresh = self.fresh_report()
+        committed = copy.deepcopy(fresh)
+        committed["config"]["workload"]["seed"] += 1
+        errors = check_against_baseline(committed, fresh)
+        assert errors == [
+            "config diverged from the committed baseline; re-baseline "
+            "deliberately with --bench --json"
+        ]
+
+    def test_committed_baseline_holds_via_cli_subprocess(self):
+        """Tier-1 tripwire: the tree must hold BENCH_scale.json's
+        deterministic section, end to end through ``python -m repro``."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "scale", "--check"],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert result.returncode == 0, result.stderr or result.stdout
+        assert result.stdout.startswith("OK:")
+
 
 class TestCommittedBaseline:
     def test_bench_scale_json_exists_and_parses(self):
-        path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+        path = default_baseline_path()
         report = json.loads(path.read_text())
         assert report["bench"] == "scale"
         assert report["deterministic"]["parity"] is True
@@ -88,3 +191,17 @@ class TestCommittedBaseline:
         assert report["config"]["cabs"] == 64
         # The committed file is in canonical serialization.
         assert path.read_text() == render_bench_json(report)
+
+    def test_committed_baseline_pins_the_epoch_collapse(self):
+        """The acceptance numbers of the adaptive-lookahead rework: a lone
+        shard runs in a single epoch, and the 4-way split's hand-offs all
+        ride the shared-memory rings (no pickle spill)."""
+        report = json.loads(default_baseline_path().read_text())
+        workers = report["deterministic"]["workers"]
+        assert workers["1"]["barriers"] == 1
+        assert workers["1"]["epochs"] == 1
+        assert workers["4"]["handoffs"] > 0
+        assert workers["4"]["ring_bytes"] > 0
+        assert workers["4"]["pickle_bytes"] == 0
+        # Far below the fixed-window scheme's sim_ns / 250 barrier count.
+        assert workers["4"]["barriers"] * 10 < workers["4"]["sim_ns"] // 250
