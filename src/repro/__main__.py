@@ -10,6 +10,8 @@ Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
         python -m repro  scale [--shape S] [--hubs N] [--workers LIST]
                                [--parity] [--bench] [--json FILE]
         python -m repro  bench buf [--check | --write] [--json FILE]
+        python -m repro  ops [--list] [--incident NAME] [--seed N]
+                             [--json FILE] [--check]
 
 ``lint`` runs nectarlint, the static determinism/sim-safety checker
 (see :mod:`repro.analysis.nectarlint`); with ``--static`` it also runs
@@ -25,7 +27,10 @@ profiles (see :mod:`repro.telemetry.observe`); ``scale`` runs a
 fleet-scale topology sharded across worker processes
 (see :mod:`repro.cluster`); ``bench buf`` runs the zero-copy buffer-plane
 benchmark and gates its host-copy counters against ``BENCH_buf.json``
-(see :mod:`repro.buf.bench`).
+(see :mod:`repro.buf.bench`); ``ops`` runs the scored operations lab —
+reproducible incidents observed through a flight recorder, with baseline
+detect/localize/mitigate evaluators gated against ``OPS_baseline.txt``
+(see :mod:`repro.ops`).
 """
 
 from __future__ import annotations
@@ -69,6 +74,10 @@ def main(argv: list[str]) -> int:
         from repro.cluster import cli
 
         return cli.main(argv[1:])
+    if argv and argv[0] == "ops":
+        from repro.ops import cli
+
+        return cli.main(argv[1:])
     if argv and argv[0] == "bench":
         if len(argv) < 2 or argv[1] != "buf":
             print("usage: python -m repro bench buf [--check | --write] "
@@ -79,10 +88,12 @@ def main(argv: list[str]) -> int:
         return bench.main(argv[2:])
     targets = argv or ["all"]
     names = list(_EXPERIMENTS) if targets == ["all"] else targets
+    subcommands = "lint, flow, analyze, chaos, observe, scale, bench, ops"
     for name in names:
         if name not in _EXPERIMENTS:
             print(f"unknown experiment {name!r}; choose from "
-                  f"{', '.join(_EXPERIMENTS)} or 'all'", file=sys.stderr)
+                  f"{', '.join(_EXPERIMENTS)}, 'all', or a subcommand "
+                  f"({subcommands})", file=sys.stderr)
             return 2
     for index, name in enumerate(names):
         if index:

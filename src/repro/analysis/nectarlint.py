@@ -59,6 +59,7 @@ SENSITIVE_PARTS = (
     "telemetry",
     "cluster",
     "buf",
+    "ops",
 )
 
 #: Path components marking zero-copy data-path code: frame/message payloads

@@ -134,9 +134,16 @@ class FleetResult:
 class _InlineShard:
     """A shard executed in-process (debuggable, zero IPC, no seam transport)."""
 
-    def __init__(self, fleet, partition, shard_id, workload_spec, telemetry):
+    def __init__(
+        self, fleet, partition, shard_id, workload_spec, telemetry, fault_plan=None
+    ):
         self.runner = ShardRunner(
-            fleet, partition, shard_id, workload_spec, telemetry=telemetry
+            fleet,
+            partition,
+            shard_id,
+            workload_spec,
+            telemetry=telemetry,
+            fault_plan=fault_plan,
         )
         self._pending = None
         self.seam_ring_bytes = 0
@@ -167,7 +174,16 @@ class _InlineShard:
 class _ProcessShard:
     """A shard in a worker process: pipe for verbs, shared rings for bulk."""
 
-    def __init__(self, context, fleet, partition, shard_id, workload_spec, telemetry):
+    def __init__(
+        self,
+        context,
+        fleet,
+        partition,
+        shard_id,
+        workload_spec,
+        telemetry,
+        fault_plan=None,
+    ):
         self.shard_id = shard_id
         # Ring storage and index cells live in shared anonymous memory,
         # created before the fork so both sides address the same pages.
@@ -195,6 +211,7 @@ class _ProcessShard:
                 workload_spec,
                 telemetry,
                 (tx_storage, tx_head, tx_tail, rx_storage, rx_head, rx_tail),
+                fault_plan,
             ),
             name=f"nectar-shard-{shard_id}",
             daemon=True,
@@ -281,6 +298,7 @@ class Conductor:
         strategy: str = "contiguous",
         limit_ns: Optional[int] = None,
         telemetry: bool = False,
+        fault_plan=None,
     ):
         if mode not in ("inline", "process"):
             raise ConfigurationError(
@@ -291,6 +309,9 @@ class Conductor:
         self.mode = mode
         self.partition = Partitioner.partition(fleet, n_workers, strategy)
         self.telemetry = telemetry
+        #: Shared fault plan: every shard attaches the same plan, so each
+        #: injector fires against the sites that are physically local to it.
+        self.fault_plan = fault_plan
         #: One fiber's propagation delay: the per-cut unit of lookahead.
         self.lookahead_ns = DEFAULT_COSTS.fiber_propagation_ns
         #: Minimum cut-crossing cost between every shard pair, in ns.
@@ -317,13 +338,19 @@ class Conductor:
                     i,
                     self.workload_spec,
                     self.telemetry,
+                    self.fault_plan,
                 )
                 for i in range(n)
             ]
         else:
             shards = [
                 _InlineShard(
-                    self.fleet, self.partition, i, self.workload_spec, self.telemetry
+                    self.fleet,
+                    self.partition,
+                    i,
+                    self.workload_spec,
+                    self.telemetry,
+                    self.fault_plan,
                 )
                 for i in range(n)
             ]
@@ -458,12 +485,17 @@ class Conductor:
 
 
 def run_reference(
-    fleet: FleetSpec, workload_spec: WorkloadSpec, telemetry: bool = False
+    fleet: FleetSpec,
+    workload_spec: WorkloadSpec,
+    telemetry: bool = False,
+    fault_plan=None,
 ) -> FleetResult:
     """The unsharded baseline: one Simulator runs the whole fleet."""
     system = build_fleet_system(fleet)
     if telemetry:
         system.enable_telemetry()
+    if fault_plan is not None:
+        system.attach_fault_plan(fault_plan)
     workload = Workload(workload_spec, fleet)
     workload.install(system)
     system.run()

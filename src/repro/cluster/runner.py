@@ -64,13 +64,18 @@ class ShardRunner:
         costs=None,
         telemetry: bool = False,
         elide_idle: bool = True,
+        fault_plan=None,
     ):
         self.shard_id = shard_id
         self.hub_names = partition.shards[shard_id]
         self.workload = Workload(workload_spec, fleet)
         active_cabs = None
         self._elided_cabs: tuple = ()
-        if elide_idle and not telemetry:
+        # A fault plan may name any CAB's FIFOs or mailboxes as a site, so
+        # idle-CAB elision is off whenever one is attached: every CAB must
+        # exist for the shard's injector to see the same sites the
+        # single-process reference does.
+        if elide_idle and not telemetry and fault_plan is None:
             endpoints = {flow.src for flow in self.workload.flows} | {
                 flow.dst for flow in self.workload.flows
             }
@@ -85,6 +90,8 @@ class ShardRunner:
         )
         if telemetry:
             self.system.enable_telemetry()
+        if fault_plan is not None:
+            self.system.attach_fault_plan(fault_plan)
         self.workload.install(self.system)
         self.outbox: List[Handoff] = []
         network = self.system.network
@@ -172,6 +179,7 @@ def worker_main(
     workload_spec: WorkloadSpec,
     telemetry: bool = False,
     rings=None,
+    fault_plan=None,
 ) -> None:
     """Worker-process body: serve conductor commands over ``conn``.
 
@@ -181,6 +189,9 @@ def worker_main(
     records ride the rings; the pipe carries only the command verbs, the
     per-window record counts, and any overflow records that did not fit
     (pickled via :meth:`Handoff.to_wire`, the legacy path).
+    ``fault_plan``, when given, is attached to the shard's system before
+    the workload installs — every shard evaluates the same plan against
+    its local links, FIFOs, and mailboxes.
 
     Protocol (request -> response):
 
@@ -194,7 +205,12 @@ def worker_main(
     """
     try:
         runner = ShardRunner(
-            fleet, partition, shard_id, workload_spec, telemetry=telemetry
+            fleet,
+            partition,
+            shard_id,
+            workload_spec,
+            telemetry=telemetry,
+            fault_plan=fault_plan,
         )
         if not telemetry:
             # The worker is a short-lived batch process with an

@@ -71,9 +71,27 @@ class WorkloadSpec:
     rpc_calls: int = 3
     rpc_bytes: int = 128
     tcp_bytes: int = 4096
+    #: Explicit :class:`Flow` tuple overriding the seeded expansion.  The
+    #: ops lab uses this to pin incident traffic to known endpoints (the
+    #: count/size fields above are ignored when set).  Flow indices must be
+    #: distinct — they are the port basis.
+    explicit_flows: tuple = ()
 
     def flows(self, fleet: FleetSpec) -> tuple:
         """Expand to concrete flows — a pure function of (self, fleet)."""
+        if self.explicit_flows:
+            known = set(fleet.cab_names())
+            for flow in self.explicit_flows:
+                if flow.src not in known or flow.dst not in known:
+                    raise ConfigurationError(
+                        f"explicit flow {flow.name} references a CAB outside "
+                        f"the fleet ({flow.src} -> {flow.dst})"
+                    )
+            if len({flow.index for flow in self.explicit_flows}) != len(
+                self.explicit_flows
+            ):
+                raise ConfigurationError("explicit flow indices must be distinct")
+            return tuple(self.explicit_flows)
         cabs = fleet.cab_names()
         if len(cabs) < 2:
             raise ConfigurationError(

@@ -421,7 +421,9 @@ def main(argv: List[str]) -> int:
             smoke = True
         elif arg == "--list":
             for name in sorted(SCENARIOS):
-                print(name)
+                doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()
+                summary = doc[0] if doc else ""
+                print(f"{name:20s} seed=7  {summary}")
             return 0
         else:
             print(f"unknown option {arg!r}", file=sys.stderr)

@@ -133,15 +133,37 @@ class Injector:
             if spec.kind == kind and spec.in_window(now) and spec.matches_site(site):
                 yield state
 
+    def _active_link(self, kind: str, src: str, dest: str):
+        """Matching ``(state, site)`` pairs for a link-egress fault kind.
+
+        Plain ``where`` patterns keep their historical meaning — matched
+        against the *sending* CAB name.  Patterns containing ``"->"`` are
+        *directed-pair* selectors matched against ``"src->dest"``, which
+        pins a spec to one fiber direction (e.g. the lossy inter-HUB
+        incident drops only frames crossing a specific hub-to-hub link).
+        """
+        now = self._clock()
+        pair = f"{src}->{dest}"
+        for state in self._states:
+            spec = state.spec
+            if spec.kind != kind or not spec.in_window(now):
+                continue
+            if "->" in spec.where:
+                if spec.matches_site(pair):
+                    yield state, pair
+            elif spec.matches_site(src):
+                yield state, src
+
     # ------------------------------------------------------- link-level hooks
 
     def on_link_frame(self, src: str, dest: str, frame) -> None:
         """Fabric egress hook: may corrupt the frame or mark it dropped.
 
         ``crash`` blackouts eat every frame touching the crashed CAB;
-        ``drop`` specs match the sending *or* receiving CAB; ``corrupt``
-        specs flip one seeded payload byte so the receiver's hardware CRC
-        rejects the frame at end-of-packet.
+        ``drop``/``corrupt`` specs match the sending CAB (or, with a
+        ``"src->dst"`` pattern, one directed CAB pair); ``corrupt`` flips
+        one seeded payload byte so the receiver's hardware CRC rejects the
+        frame at end-of-packet.
         """
         for state in self._states:
             spec = state.spec
@@ -151,15 +173,15 @@ class Injector:
                 frame.drop = True
                 self._fire(state, src if spec.matches_site(src) else dest)
         if not frame.drop:
-            for state in self._active(DROP, src):
+            for state, site in self._active_link(DROP, src, dest):
                 if state.decide():
                     frame.drop = True
-                    self._fire(state, src)
+                    self._fire(state, site)
         if not frame.drop:
-            for state in self._active(CORRUPT, src):
+            for state, site in self._active_link(CORRUPT, src, dest):
                 if state.decide():
                     frame.corrupt(state.rng.randrange(frame.size))
-                    self._fire(state, src)
+                    self._fire(state, site)
 
     def link_delay_ns(self, src: str) -> int:
         """Extra delay the sending link must add before this frame (stall)."""

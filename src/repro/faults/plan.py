@@ -63,11 +63,15 @@ class FaultSpec:
     """One declarative fault: kind + site + window + firing schedule.
 
     ``where`` is matched against the hook site's label: the sending or
-    receiving CAB name for link faults (``drop``/``corrupt``/``crash``),
-    the sending CAB name for ``stall``, the FIFO name for ``squeeze``
+    receiving CAB name for ``crash``, the sending CAB name for
+    ``drop``/``corrupt``/``stall``, the FIFO name for ``squeeze``
     (substring match, e.g. ``"cab-b.fiber-in"``), the receiving CAB name
     for ``rx-drop``, and ``"node:mailbox"`` for ``mbox-lose`` (either half
-    may be matched alone).  ``"*"`` matches every site.
+    may be matched alone).  ``"*"`` matches every site.  A ``drop`` or
+    ``corrupt`` pattern containing ``"->"`` is *directed*: it is matched
+    against ``"src->dst"`` instead of the sending CAB alone, pinning the
+    spec to one CAB pair and direction (how the ops lab models a single
+    lossy inter-HUB fiber).
 
     Firing schedule (first one set wins, checked in this order):
 

@@ -483,11 +483,16 @@ class NectarNetwork:
                 tracer.end("hub", "transfer", track=track)
 
     def _frame_dest(self, node: NetworkNode, frame: Frame) -> str:
-        """The destination CAB name of a frame (for fault-hook matching)."""
+        """The destination CAB name of a frame (for fault-hook matching).
+
+        Resolved through the topology's wiring records rather than HUB
+        port attachments, so it also names ghost CABs on remote shards —
+        a fault plan must see cut-crossing frames exactly like local ones.
+        """
         circuit = frame.circuit
         if circuit is not None:
             return circuit.plan.dest.name  # type: ignore[attr-defined]
-        return self.plan_path(node, frame.route).dest.name
+        return self.topology.cab_on_route(node.name, frame.route)
 
     # -- the inter-hub seam -------------------------------------------------------
 

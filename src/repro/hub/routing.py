@@ -122,6 +122,44 @@ class Topology:
         ports.reverse()
         return tuple(ports)
 
+    def cab_on_route(self, src_cab: str, route: tuple[int, ...]) -> str:
+        """The destination CAB name a route terminates at.
+
+        Resolves through the wiring graph alone (``place_cab`` records),
+        so it works for *ghost* CABs of a partitioned fleet too — a ghost
+        is placed in the topology but never attached to a HUB port, which
+        makes attachment-based resolution (``plan_path``) impossible for
+        cut-crossing frames.  Raises :class:`RouteError` on malformed
+        routes.
+        """
+        if not route:
+            return src_cab  # loopback
+        hub, _ = self.hub_of(src_cab)
+        for index, port in enumerate(route):
+            key = (hub.name, port)
+            last = index == len(route) - 1
+            neighbour = self._hub_links.get(key)
+            if neighbour is not None:
+                if last:
+                    raise RouteError(
+                        f"route {route} from {src_cab!r} ends on an inter-hub link"
+                    )
+                hub = neighbour
+                continue
+            cab = self._cab_at.get(key)
+            if cab is None:
+                raise RouteError(
+                    f"route {route} from {src_cab!r}: {hub.name} port {port} "
+                    f"is not wired"
+                )
+            if not last:
+                raise RouteError(
+                    f"route {route} from {src_cab!r} reaches CAB {cab!r} at "
+                    f"hop {index} with hops left"
+                )
+            return cab
+        raise RouteError(f"empty route from {src_cab!r}")  # pragma: no cover
+
     def validate_route(self, src_cab: str, route: tuple[int, ...]) -> None:
         """Check that a route terminates at a CAB (raises RouteError if not)."""
         if not route:

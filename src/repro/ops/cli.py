@@ -1,0 +1,101 @@
+"""CLI for the ops lab: ``python -m repro ops``.
+
+* ``--list`` — one line per registered incident (name + summary).
+* ``--incident NAME`` — run and score a single incident.
+* ``--seed N`` — incident seed (default 7, same as the chaos campaign).
+* ``--json FILE`` — dump the single incident's journal as JSON.
+* ``--check`` — run the whole lab and compare the rendered report
+  byte-for-byte against the committed ``OPS_baseline.txt`` golden.
+
+With no selection flags the whole lab runs and prints the full report.
+Exit status: 0 on PASS (and golden match under ``--check``), 1 on FAIL
+or mismatch, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.ops.incidents import INCIDENTS
+
+__all__ = ["main"]
+
+#: The committed golden report, at the repository root.
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "OPS_baseline.txt"
+
+
+def main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro ops`` (see the module docstring)."""
+    from repro.ops import lab
+
+    incident: Optional[str] = None
+    seed = 7
+    json_path: Optional[str] = None
+    check = False
+    arguments = list(argv)
+    while arguments:
+        arg = arguments.pop(0)
+        if arg == "--list":
+            for name in sorted(INCIDENTS):
+                built = INCIDENTS[name](seed)
+                print(f"{name:18s} {built.summary}")
+            return 0
+        elif arg == "--incident":
+            if not arguments:
+                print("--incident requires a name", file=sys.stderr)
+                return 2
+            incident = arguments.pop(0)
+        elif arg == "--seed":
+            if not arguments or not arguments[0].lstrip("-").isdigit():
+                print("--seed requires an integer", file=sys.stderr)
+                return 2
+            seed = int(arguments.pop(0))
+        elif arg == "--json":
+            if not arguments:
+                print("--json requires a file path", file=sys.stderr)
+                return 2
+            json_path = arguments.pop(0)
+        elif arg == "--check":
+            check = True
+        else:
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
+
+    if incident is not None and incident not in INCIDENTS:
+        print(
+            f"unknown incident {incident!r}; choose from {sorted(INCIDENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if json_path is not None and incident is None:
+        print("--json needs --incident (one journal per file)", file=sys.stderr)
+        return 2
+
+    if check:
+        report = lab.run_lab(seed)
+        text = report.render() + "\n"
+        if not BASELINE_PATH.exists():
+            print(f"golden missing: {BASELINE_PATH}", file=sys.stderr)
+            return 1
+        expected = BASELINE_PATH.read_text()
+        if text != expected:
+            sys.stdout.write(text)
+            print("ops report DIFFERS from OPS_baseline.txt", file=sys.stderr)
+            return 1
+        sys.stdout.write(text)
+        print("ops report matches OPS_baseline.txt")
+        return 0 if report.passed else 1
+
+    if incident is not None:
+        result = lab.run_incident(incident, seed)
+        print(result.render())
+        if json_path is not None:
+            Path(json_path).write_text(result.journal.render() + "\n")
+            print(f"journal written to {json_path}")
+        return 0 if result.passed else 1
+
+    report = lab.run_lab(seed)
+    print(report.render())
+    return 0 if report.passed else 1

@@ -1,0 +1,246 @@
+"""Baseline detectors and localizers over the flight-recorder journal.
+
+Everything here consumes a :class:`~repro.ops.observer.Journal` and
+nothing else — no live system objects, no injector state, no ground
+truth.  That is the point of the lab: these are the rules an operator
+could actually run against exported counters, and the evaluators in
+:mod:`repro.ops.lab` score how far such rules get on each incident.
+
+Two detector families walk the sample grid:
+
+* **threshold** — any error-counter movement (fabric drops, CRC
+  rejects, datalink software drops), any injected-stall movement, and
+  FIFO occupancy crossing 3/4 of capacity.
+* **rate** — a retransmit-sum spike: the per-interval delta must be at
+  least :data:`RETRANS_MIN_DELTA` *and* at least 4x the mean of all
+  earlier intervals (protocols retransmit occasionally when healthy;
+  only the storm is anomalous).
+
+Localization then ranks candidate sites from the flagged intervals,
+most-specific evidence first: a CAB everyone else can hear but that has
+gone silent; an inter-HUB link implied by error counters on CABs of two
+directly-linked HUBs; individually erroring CABs; congested FIFOs; send
+-rate stragglers; and finally the retransmitting peers (who are usually
+the *victims*, which is why they rank last).
+
+All arithmetic is integer — ratios are compared in scaled form — so the
+verdicts are exactly reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.ops.observer import Journal
+
+__all__ = ["Alert", "localize", "run_detectors"]
+
+#: Per-CAB hardware error counters (journal names are ``{cab}.{stat}``).
+ERROR_STATS = ("hw.crc_errors", "hw.dl_crc_drops", "hw.dl_fault_drops")
+
+#: Per-CAB retransmission counters summed by the rate detector.
+RETRANS_STATS = (
+    "rmp_retransmits",
+    "rpc_retries",
+    "tcp_retransmits",
+    "tcp_window_probes",
+)
+
+#: Congestion when ``4 * committed >= 3 * capacity``.
+CONGESTION_NUM = 3
+CONGESTION_DEN = 4
+
+#: Minimum retransmit delta per interval before the rate rule may fire.
+RETRANS_MIN_DELTA = 4
+
+#: Straggler when the pre-alert send rate is at least 2x the flagged-window
+#: rate (ratios are compared scaled by 4: ``8`` means ``2.0``).
+STRAGGLER_SCALE = 4
+STRAGGLER_MIN_SCALED = 8
+
+_FIFO_DIRECTIONS = ("fiber-in", "fiber-out")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector firing: at which sample, by which rule, on what signal."""
+
+    time_ns: int
+    detector: str  # "threshold" | "rate"
+    signal: str
+    value: int
+
+
+def _cab_error_delta(journal: Journal, cab: str, index: int) -> int:
+    return sum(journal.delta(f"{cab}.{stat}", index) for stat in ERROR_STATS)
+
+
+def run_detectors(journal: Journal) -> List[Alert]:
+    """Walk the sample grid and return every alert, in time order."""
+    alerts: List[Alert] = []
+    cabs = journal.cabs()
+    capacity = journal.fifo_capacity
+    retrans_history: List[int] = []
+    for index in range(1, journal.n_samples):
+        now = journal.time(index)
+        errors = journal.delta("net.frames_dropped", index) + sum(
+            _cab_error_delta(journal, cab, index) for cab in cabs
+        )
+        if errors >= 1:
+            alerts.append(Alert(now, "threshold", "errors", errors))
+        stalls = journal.delta("net.frames_stalled", index)
+        if stalls >= 1:
+            alerts.append(Alert(now, "threshold", "stalls", stalls))
+        for cab in cabs:
+            for direction in _FIFO_DIRECTIONS:
+                committed = journal.value(
+                    f"{cab}.fifo.{direction}.committed", index
+                )
+                if CONGESTION_DEN * committed >= CONGESTION_NUM * capacity:
+                    alerts.append(
+                        Alert(
+                            now,
+                            "threshold",
+                            f"congestion:{cab}.{direction}",
+                            committed,
+                        )
+                    )
+        retrans = sum(
+            journal.delta(f"{cab}.{stat}", index)
+            for cab in cabs
+            for stat in RETRANS_STATS
+        )
+        # The rate rule needs at least two prior intervals of history, and
+        # compares delta * n_prior >= 4 * sum_prior — i.e. 4x the mean —
+        # entirely in integers.
+        if (
+            len(retrans_history) >= 2
+            and retrans >= RETRANS_MIN_DELTA
+            and retrans * len(retrans_history) >= 4 * sum(retrans_history)
+        ):
+            alerts.append(Alert(now, "rate", "retransmits", retrans))
+        retrans_history.append(retrans)
+    return alerts
+
+
+def localize(journal: Journal, alerts: List[Alert]) -> List[str]:
+    """Rank candidate fault sites from the journal's flagged intervals.
+
+    Returns a deduplicated list, most likely site first.  Sites are CAB
+    names, ``"{cab}.fiber-in"``-style FIFO sites, or ``"hubA<->hubB"``
+    link labels — the same vocabulary incident ground truth uses.
+    """
+    if not alerts:
+        return []
+    index_of = {journal.time(i): i for i in range(journal.n_samples)}
+    flagged = sorted({index_of[alert.time_ns] for alert in alerts})
+    first = flagged[0]
+    cabs = journal.cabs()
+    candidates: List[str] = []
+
+    # 1. Silence: a CAB that was receiving before the first alert but
+    # receives nothing across the flagged intervals while others still do.
+    # The first flagged interval is excluded when there is more than one:
+    # it usually straddles the onset, so the victim's last healthy frames
+    # land inside it and would mask the silence.
+    silence_window = flagged[1:] if len(flagged) >= 2 else flagged
+    received = {
+        cab: sum(
+            journal.delta(f"{cab}.hw.frames_received", i)
+            for i in silence_window
+        )
+        for cab in cabs
+    }
+    if any(total > 0 for total in received.values()):
+        candidates.extend(
+            cab
+            for cab in cabs
+            if received[cab] == 0
+            and journal.value(f"{cab}.hw.frames_received", first - 1) > 0
+        )
+
+    # 2. Link inference: error counters moving on CABs of exactly two
+    # directly-linked HUBs indict the fiber between them (each direction
+    # of a lossy link damages frames arriving at the *other* side).
+    errors = {
+        cab: sum(_cab_error_delta(journal, cab, i) for i in flagged)
+        for cab in cabs
+    }
+    error_cabs = [cab for cab in cabs if errors[cab] > 0]
+    if len(error_cabs) >= 2:
+        hubs = sorted({journal.hub_of(cab) for cab in error_cabs})
+        if len(hubs) == 2:
+            link = f"{hubs[0]}<->{hubs[1]}"
+            if link in journal.links():
+                candidates.append(link)
+
+    # 3. Individually erroring CABs, worst first.
+    candidates.extend(sorted(error_cabs, key=lambda cab: (-errors[cab], cab)))
+
+    # 4. Congestion: FIFO sites whose peak committed bytes crossed the
+    # threshold during the flagged window.  A single congested fiber-in
+    # outranks everything else in this rule — inbound pressure points at
+    # the consumer, outbound at the fabric beyond it.
+    peak: Dict[str, int] = {}
+    for cab in cabs:
+        for direction in _FIFO_DIRECTIONS:
+            level = max(
+                journal.value(f"{cab}.fifo.{direction}.committed", i)
+                for i in flagged
+            )
+            if CONGESTION_DEN * level >= CONGESTION_NUM * journal.fifo_capacity:
+                peak[f"{cab}.{direction}"] = level
+    ordered = sorted(peak, key=lambda site: (-peak[site], site))
+    fiber_in = [site for site in ordered if site.endswith(".fiber-in")]
+    if len(fiber_in) == 1:
+        ordered.remove(fiber_in[0])
+        ordered.insert(0, fiber_in[0])
+    for site in ordered:
+        candidates.append(site)
+        candidates.append(site.rsplit(".", 1)[0])
+
+    # 5. Stragglers: a CAB whose send rate over the flagged window
+    # collapsed to half (or less) of its pre-alert rate, with no errors
+    # anywhere to explain it.  Rates are compared as scaled integers.
+    pre_intervals = first - 1
+    if pre_intervals >= 1:
+        ratio_scaled: Dict[str, int] = {}
+        for cab in cabs:
+            sent_pre = journal.value(f"{cab}.hw.frames_sent", first - 1)
+            if sent_pre == 0:
+                continue
+            sent_flagged = sum(
+                journal.delta(f"{cab}.hw.frames_sent", i) for i in flagged
+            )
+            scaled = (sent_pre * len(flagged) * STRAGGLER_SCALE) // max(
+                1, sent_flagged * pre_intervals
+            )
+            if scaled >= STRAGGLER_MIN_SCALED:
+                ratio_scaled[cab] = scaled
+        candidates.extend(
+            sorted(ratio_scaled, key=lambda cab: (-ratio_scaled[cab], cab))
+        )
+
+    # 6. Retransmitting peers — usually victims, so they rank last.
+    retrans = {
+        cab: sum(
+            journal.delta(f"{cab}.{stat}", i)
+            for stat in RETRANS_STATS
+            for i in flagged
+        )
+        for cab in cabs
+    }
+    candidates.extend(
+        cab
+        for cab in sorted(retrans, key=lambda cab: (-retrans[cab], cab))
+        if retrans[cab] > 0
+    )
+
+    deduped: List[str] = []
+    seen = set()
+    for site in candidates:
+        if site not in seen:
+            seen.add(site)
+            deduped.append(site)
+    return deduped

@@ -1,0 +1,340 @@
+"""The incident registry: reproducible production-style problems.
+
+Each incident is a frozen bundle of everything needed to reproduce one
+operational failure mode on demand: a fleet topology, a pinned workload
+(explicit flows, so the traffic matrix is part of the incident's
+definition rather than a seed accident), a seeded
+:class:`~repro.faults.plan.FaultPlan`, an observation cadence/horizon,
+and :class:`GroundTruth` labels — the faulty site(s), the onset time,
+and the blast radius — that the evaluators in :mod:`repro.ops.lab`
+score against.
+
+The six incidents cover the classic diagnosis shapes:
+
+* a CAB that goes *silent* (``flapping-cab``, ``zombie-tcp``),
+* a *link* that corrupts/eats frames between two HUBs (``lossy-fiber``),
+* *congestion* that is a symptom two hops away from its cause
+  (``fifo-cascade``),
+* a component that *errors visibly* (``rmp-fanout-loss``), and
+* a *straggler* that is slow without erroring at all (``slow-cab``).
+
+Workload sizing note: flows must still be in flight when the fault
+window opens, so message counts are chosen from the cost model's time
+scales (one RMP stop-and-wait message round-trips in roughly 150 us on
+an idle fabric) rather than from the defaults in
+:class:`~repro.cluster.workload.WorkloadSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.cluster.fleet import FleetSpec, line_fleet
+from repro.cluster.workload import Flow, WorkloadSpec
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    CORRUPT,
+    CRASH,
+    DROP,
+    MBOX_LOSE,
+    RX_DROP,
+    SQUEEZE,
+    STALL,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.units import ms, us
+
+__all__ = ["GroundTruth", "INCIDENTS", "Incident", "build"]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The answer key the evaluators score against."""
+
+    #: Acceptable localization answers (first entry is the canonical one):
+    #: a CAB name, a ``"cab.fiber-in"``-style FIFO site, or a
+    #: ``"hubA<->hubB"`` link label.
+    sites: tuple
+    #: Simulated time (ns) at which the fault first becomes active.
+    onset_ns: int
+    #: Names of the flows directly exposed to the fault (they traverse a
+    #: faulty site while it is active).
+    blast_radius: tuple
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One reproducible operational problem, fully specified."""
+
+    name: str
+    summary: str
+    fleet: FleetSpec
+    workload: WorkloadSpec
+    plan: FaultPlan
+    horizon_ns: int
+    cadence_ns: int
+    truth: GroundTruth
+    #: When true the lab also checks that a 2-worker sharded run of the
+    #: same fleet + workload + plan reproduces the single-process
+    #: protocol digest (only meaningful for occurrence-independent
+    #: plans; see docs/faults.md).
+    shard_check: bool = False
+
+
+def _flows(*specs) -> tuple:
+    """Build a Flow tuple from (kind, src, dst, messages, size) rows."""
+    return tuple(
+        Flow(index=index, kind=kind, src=src, dst=dst, messages=messages, size=size)
+        for index, (kind, src, dst, messages, size) in enumerate(specs)
+    )
+
+
+def flapping_cab(seed: int) -> Incident:
+    """A CAB blacks out twice; its peers see drops and silence."""
+    flows = _flows(
+        ("rmp", "cab-00-00", "cab-00-01", 60, 256),
+        ("rmp", "cab-00-02", "cab-00-01", 60, 256),
+        ("rmp", "cab-00-00", "cab-00-02", 60, 256),
+        ("rmp", "cab-00-03", "cab-00-00", 60, 256),
+        ("rmp", "cab-00-00", "cab-00-03", 60, 256),
+    )
+    plan = FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(kind=CRASH, where="cab-00-01", window_ns=(ms(2), ms(3))),
+            FaultSpec(kind=CRASH, where="cab-00-01", window_ns=(ms(6), ms(7))),
+        ),
+    )
+    return Incident(
+        name="flapping-cab",
+        summary="CAB cab-00-01 blacks out twice; peers retransmit through it",
+        fleet=line_fleet(1, 4, hub_ports=8),
+        workload=WorkloadSpec(seed=seed, explicit_flows=flows),
+        plan=plan,
+        horizon_ns=ms(20),
+        cadence_ns=us(250),
+        truth=GroundTruth(
+            sites=("cab-00-01",),
+            onset_ns=ms(2),
+            blast_radius=("rmp-00", "rmp-01"),
+        ),
+    )
+
+
+def lossy_fiber(seed: int) -> Incident:
+    """The inter-HUB fiber corrupts and eats cross-traffic in one window."""
+    # Every flow crosses the damaged fiber, each CAB sending exactly one,
+    # so the per-flow 2 ms retransmission pauses a loss causes never
+    # starve the window of occurrences.  Corruption dominates on purpose:
+    # a damaged fiber mostly mangles frames — CRC-rejected at the
+    # *receiving* CAB, which plants error counters on both HUBs' CABs,
+    # the triangulation signal the link-inference localizer needs.
+    flows = _flows(
+        ("rmp", "cab-00-00", "cab-01-00", 70, 256),
+        ("rmp", "cab-01-01", "cab-00-01", 70, 256),
+        ("rmp", "cab-00-01", "cab-01-01", 70, 256),
+        ("rmp", "cab-01-00", "cab-00-00", 70, 256),
+    )
+    window = (ms(1), ms(8))
+    pairs = (
+        "cab-00-00->cab-01-00",
+        "cab-00-01->cab-01-01",
+        "cab-01-00->cab-00-00",
+        "cab-01-01->cab-00-01",
+    )
+    specs = tuple(
+        FaultSpec(kind=CORRUPT, where=pair, probability=0.3, window_ns=window)
+        for pair in pairs
+    ) + tuple(
+        FaultSpec(kind=DROP, where=pair, probability=0.15, window_ns=window)
+        for pair in pairs
+    )
+    return Incident(
+        name="lossy-fiber",
+        summary="the hub00<->hub01 fiber drops and corrupts cross-traffic",
+        fleet=line_fleet(2, 2, hub_ports=8),
+        workload=WorkloadSpec(seed=seed, explicit_flows=flows),
+        plan=FaultPlan(seed=seed, specs=specs),
+        horizon_ns=ms(16),
+        cadence_ns=us(250),
+        truth=GroundTruth(
+            sites=("hub00<->hub01",),
+            onset_ns=ms(1),
+            blast_radius=("rmp-00", "rmp-01", "rmp-02", "rmp-03"),
+        ),
+    )
+
+
+def fifo_cascade(seed: int) -> Incident:
+    """A squeezed input FIFO back-pressures every flow aimed at it."""
+    flows = _flows(
+        ("rmp", "cab-00-00", "cab-00-01", 50, 512),
+        ("rmp", "cab-00-02", "cab-00-01", 50, 512),
+        ("rmp", "cab-00-01", "cab-00-00", 40, 128),
+        ("rmp", "cab-00-02", "cab-00-00", 40, 128),
+    )
+    plan = FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                kind=SQUEEZE,
+                where="cab-00-01.fiber-in",
+                squeeze_bytes=7 * 1024,
+                window_ns=(ms(2), ms(8)),
+            ),
+        ),
+    )
+    return Incident(
+        name="fifo-cascade",
+        summary="cab-00-01's input FIFO loses most of its capacity under load",
+        fleet=line_fleet(1, 3, hub_ports=8),
+        workload=WorkloadSpec(seed=seed, explicit_flows=flows),
+        plan=plan,
+        horizon_ns=ms(18),
+        cadence_ns=us(250),
+        truth=GroundTruth(
+            sites=("cab-00-01.fiber-in", "cab-00-01"),
+            onset_ns=ms(2),
+            blast_radius=("rmp-00", "rmp-01"),
+        ),
+    )
+
+
+def zombie_tcp(seed: int) -> Incident:
+    """A long blackout turns TCP flows into retransmit-storm zombies."""
+    flows = _flows(
+        ("tcp", "cab-00-00", "cab-00-01", 1, 24576),
+        ("tcp", "cab-00-02", "cab-00-01", 1, 24576),
+        ("rmp", "cab-00-00", "cab-00-02", 500, 256),
+        ("tcp", "cab-00-03", "cab-00-02", 1, 4096),
+    )
+    plan = FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(kind=CRASH, where="cab-00-01", window_ns=(us(500), ms(120))),
+            FaultSpec(
+                kind=MBOX_LOSE,
+                where="cab-00-01:tcp-input",
+                probability=0.25,
+                window_ns=(ms(120), ms(300)),
+            ),
+        ),
+    )
+    return Incident(
+        name="zombie-tcp",
+        summary="a long cab-00-01 blackout leaves TCP flows retrying into it",
+        fleet=line_fleet(1, 4, hub_ports=8),
+        workload=WorkloadSpec(seed=seed, explicit_flows=flows),
+        plan=plan,
+        horizon_ns=ms(400),
+        cadence_ns=ms(5),
+        truth=GroundTruth(
+            sites=("cab-00-01",),
+            onset_ns=us(500),
+            blast_radius=("tcp-00", "tcp-01"),
+        ),
+    )
+
+
+def rmp_fanout_loss(seed: int) -> Incident:
+    """One fan-out leg silently drops every third received frame."""
+    flows = _flows(
+        ("rmp", "cab-00-00", "cab-00-01", 40, 256),
+        ("rmp", "cab-00-00", "cab-00-02", 40, 256),
+        ("rmp", "cab-00-00", "cab-00-03", 40, 256),
+        ("rmp", "cab-00-00", "cab-00-04", 40, 256),
+        ("rmp", "cab-00-01", "cab-00-00", 30, 128),
+        # A second, faster feed into the victim so the every-3rd drop
+        # schedule reaches its first firing within a cadence of onset.
+        ("rmp", "cab-00-03", "cab-00-02", 40, 256),
+    )
+    plan = FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                kind=RX_DROP,
+                where="cab-00-02",
+                every_nth=3,
+                window_ns=(ms(2), ms(8)),
+            ),
+        ),
+    )
+    return Incident(
+        name="rmp-fanout-loss",
+        summary="cab-00-02 silently discards every third received frame",
+        fleet=line_fleet(1, 5, hub_ports=8),
+        workload=WorkloadSpec(seed=seed, explicit_flows=flows),
+        plan=plan,
+        horizon_ns=ms(24),
+        cadence_ns=us(500),
+        truth=GroundTruth(
+            sites=("cab-00-02",),
+            onset_ns=ms(2),
+            blast_radius=("rmp-01", "rmp-05"),
+        ),
+    )
+
+
+def slow_cab(seed: int) -> Incident:
+    """A straggler CAB stalls on every egress frame without erroring."""
+    # Every CAB that acks a stalled flow also carries healthy traffic for
+    # the whole stall window, so only the victim's send rate collapses
+    # (the straggler localizer compares pre-alert vs flagged-window rates).
+    flows = _flows(
+        ("rmp", "cab-01-00", "cab-00-00", 45, 512),
+        ("rmp", "cab-01-00", "cab-01-01", 40, 256),
+        ("rmp", "cab-00-01", "cab-00-00", 75, 256),
+        ("rmp", "cab-01-02", "cab-01-01", 75, 256),
+        ("rmp", "cab-00-01", "cab-00-02", 75, 256),
+    )
+    plan = FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                kind=STALL,
+                where="cab-01-00",
+                stall_ns=us(400),
+                probability=1.0,
+                window_ns=(ms(2), ms(12)),
+            ),
+        ),
+    )
+    return Incident(
+        name="slow-cab",
+        summary="cab-01-00 stalls on every egress frame, no errors anywhere",
+        fleet=line_fleet(2, 3, hub_ports=8),
+        workload=WorkloadSpec(seed=seed, explicit_flows=flows),
+        plan=plan,
+        horizon_ns=ms(24),
+        cadence_ns=us(500),
+        truth=GroundTruth(
+            sites=("cab-01-00",),
+            onset_ns=ms(2),
+            blast_radius=("rmp-00", "rmp-01"),
+        ),
+        # probability=1.0 makes every decision occurrence-independent, so
+        # the sharded run must reproduce the reference protocol digest.
+        shard_check=True,
+    )
+
+
+#: Incident name -> builder.  Names are CLI-visible.
+INCIDENTS: Dict[str, Callable[[int], Incident]] = {
+    "flapping-cab": flapping_cab,
+    "lossy-fiber": lossy_fiber,
+    "fifo-cascade": fifo_cascade,
+    "zombie-tcp": zombie_tcp,
+    "rmp-fanout-loss": rmp_fanout_loss,
+    "slow-cab": slow_cab,
+}
+
+
+def build(name: str, seed: int) -> Incident:
+    """Build the named incident for ``seed`` (raises on unknown name)."""
+    if name not in INCIDENTS:
+        raise ConfigurationError(
+            f"unknown incident {name!r}; choose from {sorted(INCIDENTS)}"
+        )
+    return INCIDENTS[name](seed)

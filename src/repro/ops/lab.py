@@ -1,0 +1,450 @@
+"""Run incidents end to end and score detect / localize / mitigate.
+
+For each incident the lab:
+
+1. builds a fresh fleet, attaches the flight recorder *and then* the
+   fault plan, installs the pinned workload, and runs to the horizon;
+2. re-runs the whole thing and checks the journal bytes and the behavior
+   signature are identical (determinism is an invariant, not a hope);
+3. feeds the journal — and only the journal — to the baseline detectors
+   and localizers from :mod:`repro.ops.detect`;
+4. verifies the *ground truth* itself: the plan really fired near the
+   labelled onset, and every blast-radius flow really was exposed;
+5. *mitigates*: clips every fault window at the first alert time (the
+   moment an on-call operator could have acted) and re-runs without the
+   observer — mitigation is verified when every flow completes and no
+   fault fires after the clip point;
+6. for ``shard_check`` incidents, re-runs the same fleet + workload +
+   plan under a 2-worker :class:`~repro.cluster.conductor.Conductor` and
+   compares protocol digests with the observed run.
+
+Scores are integers out of 100: detection 40, time-to-detect up to 20,
+localization up to 25, verified mitigation 15.  The rendered report is
+built only from simulated quantities, so two invocations with the same
+seed print byte-identical text — ``python -m repro ops --check`` gates
+on the committed ``OPS_baseline.txt`` exactly like the chaos report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.conductor import Conductor
+from repro.cluster.fleet import build_fleet_system
+from repro.cluster.workload import Workload
+from repro.faults.plan import FaultPlan
+from repro.ops.detect import Alert, localize, run_detectors
+from repro.ops.incidents import INCIDENTS, Incident, build
+from repro.ops.observer import FlightRecorder, Journal
+from repro.units import seconds
+
+__all__ = [
+    "IncidentResult",
+    "LabReport",
+    "baseline_signature",
+    "behavior_signature",
+    "run_incident",
+    "run_lab",
+]
+
+#: Extra simulated time the mitigation re-run gets beyond the horizon —
+#: protocols recovering from a clipped fault may still be in RTO backoff
+#: at the horizon (TCP's maximum RTO is 2 simulated seconds).
+MITIGATION_GRACE_NS = seconds(2)
+
+#: Ground-truth sanity: the plan's first firing must land within this
+#: many cadences after the labelled onset.
+ONSET_SLACK_CADENCES = 10
+
+# Score weights (total 100).
+SCORE_DETECTED = 40
+SCORE_TTD_FAST = 20  # time-to-detect within 2 cadences
+SCORE_TTD_OK = 10  # within 5 cadences
+SCORE_TOP1 = 25  # best localization candidate is a true site
+SCORE_TOP3 = 15  # a true site appears in the top 3
+SCORE_MITIGATED = 15
+
+
+# ------------------------------------------------------------------ running
+
+
+def behavior_signature(system, workload, injector=None) -> Tuple:
+    """Everything the simulation *did*, independent of observation.
+
+    Deliberately excludes the event sequence counter: the observer's
+    timer events consume sequence numbers without reordering anyone
+    else's, so ``sim._seq`` differs between observed and unobserved runs
+    of identical behavior.
+    """
+    nodes = tuple(
+        (
+            name,
+            tuple(sorted(system.nodes[name].runtime.stats.snapshot().items())),
+            tuple(sorted(system.nodes[name].cab.stats.snapshot().items())),
+        )
+        for name in sorted(system.nodes)
+    )
+    net = tuple(sorted(system.network.stats.snapshot().items()))
+    fired = tuple(injector.fired) if injector is not None else ()
+    flows = tuple(
+        (name, tuple(sorted(record.items())))
+        for name, record in sorted(workload.flow_results.items())
+    )
+    return (system.sim.now, nodes, net, fired, flows)
+
+
+def _meta(incident: Incident, seed: int) -> dict:
+    links = sorted(
+        f"{low}<->{high}"
+        for low, high in (
+            sorted((hub_a, hub_b))
+            for hub_a, _port_a, hub_b, _port_b in incident.fleet.links
+        )
+    )
+    return {
+        "incident": incident.name,
+        "seed": seed,
+        "summary": incident.summary,
+        "topology": {
+            "cabs": {name: hub for name, hub, _port in incident.fleet.cabs},
+            "links": links,
+            # Filled in from the built hardware before the recorder runs.
+            "fifo_capacity": 0,
+        },
+    }
+
+
+def _observed_run(incident: Incident, seed: int):
+    """One fully-observed run: journal + behavior + protocol artefacts."""
+    system = build_fleet_system(incident.fleet)
+    meta = _meta(incident, seed)
+    first_cab = incident.fleet.cab_names()[0]
+    meta["topology"]["fifo_capacity"] = system.nodes[
+        first_cab
+    ].cab.fiber_in.fifo.capacity
+    recorder = FlightRecorder(meta, incident.cadence_ns, incident.horizon_ns)
+    system.attach_observer(recorder)
+    injector = system.attach_fault_plan(incident.plan)
+    workload = Workload(incident.workload, incident.fleet)
+    workload.install(system)
+    system.run(until=incident.horizon_ns)
+    journal = recorder.journal()
+    signature = behavior_signature(system, workload, injector)
+    return journal, signature, workload, system, injector
+
+
+def baseline_signature(incident: Incident) -> Tuple:
+    """The same run with *no observer attached* (the invariance baseline)."""
+    system = build_fleet_system(incident.fleet)
+    injector = system.attach_fault_plan(incident.plan)
+    workload = Workload(incident.workload, incident.fleet)
+    workload.install(system)
+    system.run(until=incident.horizon_ns)
+    return behavior_signature(system, workload, injector)
+
+
+# --------------------------------------------------------------- mitigation
+
+
+def _clip_plan(plan: FaultPlan, clip_ns: int) -> FaultPlan:
+    """The operator's fix: every fault window ends at the first alert.
+
+    Specs that would only start at or after the clip point are removed
+    outright; running ones keep their start but end early.  This models
+    "the faulty component was pulled at detection time" while keeping
+    the pre-detection history identical.
+    """
+    specs = []
+    for spec in plan.specs:
+        start, end = spec.window_ns if spec.window_ns is not None else (0, None)
+        if start >= clip_ns:
+            continue
+        clipped = clip_ns if end is None else min(end, clip_ns)
+        specs.append(dataclasses.replace(spec, window_ns=(start, clipped)))
+    return FaultPlan(seed=plan.seed, specs=tuple(specs))
+
+
+def _mitigate(incident: Incident, clip_ns: int) -> Tuple[bool, str]:
+    """Re-run with the clipped plan; verify full recovery."""
+    plan = _clip_plan(incident.plan, clip_ns)
+    system = build_fleet_system(incident.fleet)
+    injector = system.attach_fault_plan(plan)
+    workload = Workload(incident.workload, incident.fleet)
+    workload.install(system)
+    system.run(until=incident.horizon_ns + MITIGATION_GRACE_NS)
+    incomplete = workload.incomplete(system)
+    late_fires = sum(1 for time_ns, _kind, _site in injector.fired if time_ns >= clip_ns)
+    ok = not incomplete and late_fires == 0
+    note = (
+        f"clipped fault windows at {clip_ns} ns: "
+        f"{len(plan.specs)}/{len(incident.plan.specs)} specs kept, "
+        f"fires_after_clip={late_fires}, "
+        f"incomplete={','.join(incomplete) if incomplete else 'none'}"
+    )
+    return ok, note
+
+
+# ------------------------------------------------------------- verification
+
+
+def _verify_truth(
+    incident: Incident, journal: Journal, workload: Workload, injector
+) -> Tuple[bool, List[str]]:
+    """Check the answer key against what actually happened."""
+    notes: List[str] = []
+    truth = incident.truth
+    if not injector.fired:
+        notes.append("plan never fired")
+    else:
+        first_fire = injector.fired[0][0]
+        latest = truth.onset_ns + ONSET_SLACK_CADENCES * incident.cadence_ns
+        if first_fire < truth.onset_ns or first_fire > latest:
+            notes.append(
+                f"first fire at {first_fire} ns is outside "
+                f"[{truth.onset_ns}, {latest}] ns"
+            )
+    known_sites = set(journal.cabs()) | set(journal.links())
+    for cab in journal.cabs():
+        known_sites.add(f"{cab}.fiber-in")
+        known_sites.add(f"{cab}.fiber-out")
+    for site in truth.sites:
+        if site not in known_sites:
+            notes.append(f"truth site {site!r} is not in the journal vocabulary")
+    for flow_name in truth.blast_radius:
+        record = workload.flow_results.get(flow_name)
+        if record is not None and record["completed_ns"] <= truth.onset_ns:
+            notes.append(
+                f"blast-radius flow {flow_name} completed at "
+                f"{record['completed_ns']} ns, before the fault onset"
+            )
+    return (not notes), notes
+
+
+def _shard_parity(incident: Incident, workload: Workload, system) -> bool:
+    """Does a 2-worker sharded run reproduce the observed protocol digest?"""
+    results = workload.results(system)
+    reference = {
+        "flows": results["flows"],
+        "retransmits": results["retransmits"],
+        "incomplete": sorted(workload.incomplete(system)),
+    }
+    sharded = Conductor(
+        incident.fleet,
+        incident.workload,
+        n_workers=2,
+        mode="inline",
+        # The observed run stops at the incident horizon; the sharded one
+        # must be cut at the same simulated instant or their "incomplete"
+        # sets (and late retransmit counters) would legitimately differ.
+        limit_ns=incident.horizon_ns,
+        fault_plan=incident.plan,
+    ).run()
+    return sharded.protocol_digest() == reference
+
+
+# ---------------------------------------------------------------- results
+
+
+@dataclass
+class IncidentResult:
+    """Everything one scored incident run produced."""
+
+    incident: Incident
+    seed: int
+    journal: Journal
+    alerts: List[Alert]
+    candidates: List[str]
+    deterministic: bool
+    detected: bool
+    time_to_detect_ns: Optional[int]
+    truth_ok: bool
+    truth_notes: List[str]
+    mitigation_ok: bool
+    mitigation_note: str
+    shard_parity: Optional[bool]  # None when the incident does not claim it
+    incomplete: Tuple[str, ...]
+    fires_text: str
+    score: int
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.deterministic
+            and self.detected
+            and self.truth_ok
+            and self.mitigation_ok
+            and self.shard_parity is not False
+        )
+
+    def render(self) -> str:
+        """The incident's scorecard block of the lab report (byte-stable)."""
+        incident = self.incident
+        lines = [
+            f"incident: {incident.name} (seed {self.seed})",
+            f"  summary: {incident.summary}",
+            f"  fleet: {incident.fleet.describe()}, "
+            f"{len(incident.workload.explicit_flows)} flows, "
+            f"horizon={incident.horizon_ns} ns, cadence={incident.cadence_ns} ns",
+            "  fault specs:",
+        ]
+        lines.extend(f"  {line}" for line in self.fires_text.splitlines())
+        lines.append(
+            f"  journal: samples={self.journal.n_samples} "
+            f"events={len(self.journal.events)} "
+            f"events_dropped={self.journal.events_dropped} "
+            f"bytes={len(self.journal.render())} "
+            f"sha256={self.journal.sha256()[:16]}"
+        )
+        if self.alerts:
+            first = self.alerts[0]
+            lines.append(
+                f"  alerts: {len(self.alerts)} "
+                f"(first at {first.time_ns} ns: {first.detector}/{first.signal})"
+            )
+        else:
+            lines.append("  alerts: 0")
+        if self.detected:
+            lines.append(
+                f"  detection: DETECTED time_to_detect={self.time_to_detect_ns} ns"
+            )
+        else:
+            lines.append("  detection: MISSED")
+        if self.candidates:
+            top1 = self.candidates[0]
+            hit = "HIT" if top1 in incident.truth.sites else "miss"
+            shown = ",".join(self.candidates[:5])
+            lines.append(f"  localization: top1={top1} [{hit}] candidates={shown}")
+        else:
+            lines.append("  localization: (no candidates)")
+        lines.append(
+            f"  mitigation: {'VERIFIED' if self.mitigation_ok else 'FAILED'} "
+            f"({self.mitigation_note})"
+        )
+        truth_text = "OK" if self.truth_ok else "; ".join(self.truth_notes)
+        lines.append(f"  ground truth: {truth_text}")
+        if self.shard_parity is not None:
+            lines.append(
+                f"  shard parity (2 workers): "
+                f"{'OK' if self.shard_parity else 'VIOLATED'}"
+            )
+        lines.append(
+            f"  determinism (two identical runs): "
+            f"{'OK' if self.deterministic else 'VIOLATED'}"
+        )
+        if self.incomplete:
+            lines.append(f"  incomplete flows: {','.join(self.incomplete)}")
+        lines.append(f"  score: {self.score}/100")
+        return "\n".join(lines)
+
+
+@dataclass
+class LabReport:
+    """All incidents, scored, with the overall verdict."""
+
+    seed: int
+    results: List[IncidentResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def total_score(self) -> int:
+        return sum(result.score for result in self.results)
+
+    def render(self) -> str:
+        """The full report text gated against ``OPS_baseline.txt``."""
+        lines = [f"ops lab: {len(self.results)} incidents (seed {self.seed})"]
+        for result in self.results:
+            lines.append("")
+            lines.append(result.render())
+        lines.append("")
+        lines.append(
+            f"total score: {self.total_score}/{100 * len(self.results)}"
+        )
+        lines.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- scoring
+
+
+def _score(
+    incident: Incident,
+    detected: bool,
+    time_to_detect_ns: Optional[int],
+    candidates: List[str],
+    mitigation_ok: bool,
+) -> int:
+    score = 0
+    if detected:
+        score += SCORE_DETECTED
+        if time_to_detect_ns <= 2 * incident.cadence_ns:
+            score += SCORE_TTD_FAST
+        elif time_to_detect_ns <= 5 * incident.cadence_ns:
+            score += SCORE_TTD_OK
+    if candidates and candidates[0] in incident.truth.sites:
+        score += SCORE_TOP1
+    elif any(site in incident.truth.sites for site in candidates[:3]):
+        score += SCORE_TOP3
+    if mitigation_ok:
+        score += SCORE_MITIGATED
+    return score
+
+
+# ------------------------------------------------------------ entry points
+
+
+def run_incident(name: str, seed: int = 7) -> IncidentResult:
+    """Run one incident end to end: observe, double-run, score, mitigate."""
+    incident = build(name, seed)
+    journal, signature, workload, system, injector = _observed_run(incident, seed)
+    second_journal, second_signature, _, _, _ = _observed_run(incident, seed)
+    deterministic = (
+        journal.render() == second_journal.render()
+        and signature == second_signature
+    )
+
+    alerts = run_detectors(journal)
+    candidates = localize(journal, alerts)
+    onset = incident.truth.onset_ns
+    detected = bool(alerts) and alerts[0].time_ns >= onset
+    time_to_detect = alerts[0].time_ns - onset if detected else None
+
+    truth_ok, truth_notes = _verify_truth(incident, journal, workload, injector)
+
+    if alerts:
+        mitigation_ok, mitigation_note = _mitigate(incident, alerts[0].time_ns)
+    else:
+        mitigation_ok, mitigation_note = False, "no alert to mitigate from"
+
+    shard_parity = (
+        _shard_parity(incident, workload, system) if incident.shard_check else None
+    )
+
+    return IncidentResult(
+        incident=incident,
+        seed=seed,
+        journal=journal,
+        alerts=alerts,
+        candidates=candidates,
+        deterministic=deterministic,
+        detected=detected,
+        time_to_detect_ns=time_to_detect,
+        truth_ok=truth_ok,
+        truth_notes=truth_notes,
+        mitigation_ok=mitigation_ok,
+        mitigation_note=mitigation_note,
+        shard_parity=shard_parity,
+        incomplete=workload.incomplete(system),
+        fires_text=injector.describe_fires(),
+        score=_score(incident, detected, time_to_detect, candidates, mitigation_ok),
+    )
+
+
+def run_lab(seed: int = 7) -> LabReport:
+    """Run and score every registered incident."""
+    results = [run_incident(name, seed) for name in sorted(INCIDENTS)]
+    return LabReport(seed=seed, results=results)

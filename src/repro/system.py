@@ -195,6 +195,17 @@ class NectarSystem:
         self.faults = injector
         return injector
 
+    def attach_observer(self, observer):
+        """Attach an ops-lab observer (see :mod:`repro.ops.observer`).
+
+        The observer becomes the shared tracer's sink and gets its
+        sampling process scheduled; it only ever *reads* state, so the
+        simulated behavior with an observer attached is bit-identical to
+        the behavior without one.  Returns the observer.
+        """
+        observer.attach(self)
+        return observer
+
     def enable_telemetry(self):
         """Attach a :class:`~repro.telemetry.session.Telemetry` session.
 

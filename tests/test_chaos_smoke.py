@@ -48,6 +48,23 @@ def test_chaos_list_names_every_scenario():
         assert name in result.stdout
 
 
+def test_chaos_list_shows_descriptions_and_default_seed():
+    """--list is a catalog, not a bare name dump: each line carries the
+    scenario's one-line docstring summary and the default seed."""
+    from repro.faults.scenarios import SCENARIOS
+
+    result = run_chaos("--list")
+    assert result.returncode == 0
+    lines = [line for line in result.stdout.splitlines() if line.strip()]
+    assert len(lines) == len(SCENARIOS)
+    for line in lines:
+        name = line.split()[0]
+        assert name in SCENARIOS
+        assert "seed=7" in line
+        summary = (SCENARIOS[name].__doc__ or "").strip().splitlines()[0]
+        assert summary in line
+
+
 def test_chaos_rejects_unknown_scenario():
     result = run_chaos("--scenario", "meteor-strike")
     assert result.returncode == 2

@@ -1,0 +1,91 @@
+"""CI gate: the ops-lab CLI works end to end and matches its golden.
+
+``python -m repro ops --list`` must name every registered incident, a
+single incident must run to a passing scorecard, two identical
+invocations must print byte-identical reports, and ``--check`` must
+reproduce the committed ``OPS_baseline.txt`` exactly — the same
+report-golden discipline the chaos campaign uses.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+INCIDENT_NAMES = (
+    "flapping-cab",
+    "lossy-fiber",
+    "fifo-cascade",
+    "zombie-tcp",
+    "rmp-fanout-loss",
+    "slow-cab",
+)
+
+
+def run_ops(*args):
+    """Invoke ``python -m repro ops`` in a subprocess; return the result."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "ops", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+def test_ops_list_names_every_incident():
+    result = run_ops("--list")
+    assert result.returncode == 0, result.stdout + result.stderr
+    for name in INCIDENT_NAMES:
+        assert name in result.stdout
+
+
+def test_single_incident_runs_to_a_passing_scorecard():
+    result = run_ops("--incident", "fifo-cascade")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "incident: fifo-cascade (seed 7)" in result.stdout
+    assert "detection: DETECTED" in result.stdout
+    assert "mitigation: VERIFIED" in result.stdout
+    assert "determinism (two identical runs): OK" in result.stdout
+
+
+def test_incident_reports_are_byte_identical_across_invocations():
+    first = run_ops("--incident", "flapping-cab", "--seed", "7")
+    second = run_ops("--incident", "flapping-cab", "--seed", "7")
+    assert first.returncode == 0, first.stdout + first.stderr
+    assert first.stdout == second.stdout
+
+
+def test_check_matches_the_committed_golden():
+    result = run_ops("--check")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "ops report matches OPS_baseline.txt" in result.stdout
+    assert "verdict: PASS" in result.stdout
+    golden = (REPO / "OPS_baseline.txt").read_text()
+    assert result.stdout.startswith(golden[: golden.index("\n")])
+
+
+def test_ops_rejects_unknown_incident():
+    result = run_ops("--incident", "meteor-strike")
+    assert result.returncode == 2
+    assert "unknown incident" in result.stderr
+
+
+def test_ops_rejects_unknown_option():
+    result = run_ops("--frobnicate")
+    assert result.returncode == 2
+    assert "unknown option" in result.stderr
+
+
+def test_main_lists_ops_in_the_unknown_subcommand_error():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "no-such-thing"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 2
+    assert "ops" in result.stderr

@@ -223,6 +223,49 @@ class TestMetrics:
         assert "repro_rtt_ns_count 2" in text
         assert text.endswith("\n")
 
+    def test_prometheus_histogram_buckets_are_cumulative(self):
+        """Averages and rates must be computable from the export alone:
+        buckets are cumulative, ``+Inf`` equals ``_count``, and ``_sum``
+        is the exact observation total (Prometheus exposition 0.0.4)."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_ns", buckets=(10, 100, 1000))
+        for value in (5, 7, 50, 500, 5000, 50000):
+            hist.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        buckets = [line for line in lines if line.startswith("repro_lat_ns_bucket")]
+        assert buckets == [
+            'repro_lat_ns_bucket{le="10"} 2',
+            'repro_lat_ns_bucket{le="100"} 3',
+            'repro_lat_ns_bucket{le="1000"} 4',
+            'repro_lat_ns_bucket{le="+Inf"} 6',
+        ]
+        assert "repro_lat_ns_sum 55562" in lines
+        assert "repro_lat_ns_count 6" in lines
+
+    def test_prometheus_inf_bucket_counts_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x", buckets=(10,))
+        hist.observe(1)
+        hist.observe(999)  # beyond the last bound
+        text = registry.render_prometheus()
+        assert 'repro_x_bucket{le="10"} 1' in text
+        assert 'repro_x_bucket{le="+Inf"} 2' in text
+        assert "repro_x_count 2" in text
+
+    def test_render_prometheus_is_byte_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").inc(3)
+        registry.histogram("rtt", buckets=(10,)).observe(4)
+        assert registry.render_prometheus() == registry.render_prometheus()
+
+    def test_render_json_stays_byte_stable_with_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("rtt", buckets=(10, 100)).observe(42)
+        first = registry.render_json()
+        assert first == registry.render_json()
+        decoded = json.loads(first)
+        assert decoded["series"]["rtt"]["value"]["counts"] == [0, 1]
+
 
 # ------------------------------------------------------------------ profiler
 
