@@ -9,6 +9,8 @@ Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
         python -m repro  observe [--workload NAME] [--trace FILE] [--metrics FILE]
         python -m repro  scale [--shape S] [--hubs N] [--workers LIST]
                                [--parity] [--bench] [--json FILE]
+        python -m repro  mcast [--seed N] [--workers LIST] [--json FILE]
+                               [--check]
         python -m repro  bench buf [--check | --write] [--json FILE]
         python -m repro  ops [--list] [--incident NAME] [--seed N]
                              [--json FILE] [--check]
@@ -25,7 +27,9 @@ sanitizer + determinism harness (see :mod:`repro.analysis.driver`);
 telemetry plane on and exports Perfetto traces, metrics, and cycle
 profiles (see :mod:`repro.telemetry.observe`); ``scale`` runs a
 fleet-scale topology sharded across worker processes
-(see :mod:`repro.cluster`); ``bench buf`` runs the zero-copy buffer-plane
+(see :mod:`repro.cluster`); ``mcast`` runs the NMP multicast fan-out and
+CAB-collective benchmark and gates it against ``BENCH_mcast.json``
+(see :mod:`repro.cluster.mcast`); ``bench buf`` runs the zero-copy buffer-plane
 benchmark and gates its host-copy counters against ``BENCH_buf.json``
 (see :mod:`repro.buf.bench`); ``ops`` runs the scored operations lab —
 reproducible incidents observed through a flight recorder, with baseline
@@ -74,6 +78,10 @@ def main(argv: list[str]) -> int:
         from repro.cluster import cli
 
         return cli.main(argv[1:])
+    if argv and argv[0] == "mcast":
+        from repro.cluster import mcast_cli
+
+        return mcast_cli.main(argv[1:])
     if argv and argv[0] == "ops":
         from repro.ops import cli
 
@@ -88,7 +96,7 @@ def main(argv: list[str]) -> int:
         return bench.main(argv[2:])
     targets = argv or ["all"]
     names = list(_EXPERIMENTS) if targets == ["all"] else targets
-    subcommands = "lint, flow, analyze, chaos, observe, scale, bench, ops"
+    subcommands = "lint, flow, analyze, chaos, observe, scale, mcast, bench, ops"
     for name in names:
         if name not in _EXPERIMENTS:
             print(f"unknown experiment {name!r}; choose from "

@@ -55,12 +55,15 @@ _ADOPTING_CLASSES = {"Frame", "Handoff"}
 #: Methods returning a window over the *same* reference (aliases).
 _VIEW_DERIVERS = {"prepend", "strip", "strip_back", "slice", "fill_from"}
 #: Call names that consume a frame/view argument (ownership sinks).
+#: ``_enqueue`` is the HUB forwarder's port queue: once enqueued, the drain
+#: process owns the frame and always forwards or releases it.
 _SINK_NAMES = {
     "send_frame",
     "discard_rx",
     "start_rx_dma",
     "inject_handoff",
     "boundary_egress",
+    "_enqueue",
 }
 
 

@@ -60,6 +60,7 @@ SENSITIVE_PARTS = (
     "cluster",
     "buf",
     "ops",
+    "hub",
 )
 
 #: Path components marking zero-copy data-path code: frame/message payloads

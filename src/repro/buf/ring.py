@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 
 from repro.buf.packet import BufView
 from repro.errors import BufError
+from repro.hub.groups import is_fanout_tree
 from repro.hub.network import Handoff
 
 __all__ = ["HandoffRing", "RingIndex"]
@@ -41,6 +42,11 @@ __all__ = ["HandoffRing", "RingIndex"]
 _FIXED = struct.Struct("<qqqIiiIBBBB")
 _HOP = struct.Struct("<H")
 _LEN = struct.Struct("<I")
+_BRANCHES = struct.Struct("<B")
+#: The hop-count byte cannot be 0xFF for a flat route; that value flags a
+#: multicast fan-out *tree* encoding (branch count + port + subtree,
+#: recursively) in the hop area instead of a flat hop list.
+_TREE_SENTINEL = 0xFF
 
 
 class RingIndex:
@@ -119,6 +125,31 @@ class HandoffRing:
     # -- encoding -------------------------------------------------------------
 
     @staticmethod
+    def _pack_tree(tree) -> bytes:
+        """Recursive fan-out tree encoding: branch count, then per branch
+        the egress port and its (possibly empty) subtree."""
+        if len(tree) >= _TREE_SENTINEL:
+            raise BufError("fan-out tree too wide for the ring encoding")
+        parts = [_BRANCHES.pack(len(tree))]
+        for port, subtree in tree:
+            parts.append(_HOP.pack(port))
+            parts.append(HandoffRing._pack_tree(subtree))
+        return b"".join(parts)
+
+    @staticmethod
+    def _unpack_tree(body: bytes, cursor: int):
+        """Inverse of :meth:`_pack_tree`; returns ``(tree, cursor)``."""
+        (count,) = _BRANCHES.unpack_from(body, cursor)
+        cursor += _BRANCHES.size
+        branches = []
+        for _ in range(count):
+            (port,) = _HOP.unpack_from(body, cursor)
+            cursor += _HOP.size
+            subtree, cursor = HandoffRing._unpack_tree(body, cursor)
+            branches.append((port, subtree))
+        return tuple(branches), cursor
+
+    @staticmethod
     def _encode(handoff: Handoff) -> Tuple[bytes, object]:
         """The record body (sans payload) and the payload's byte source."""
         key_hub, key_port, key_seq = handoff.key
@@ -127,9 +158,18 @@ class HandoffRing:
         hub_b = key_hub.encode()
         dst_b = handoff.dst_hub.encode()
         src_b = handoff.src.encode()
-        if max(len(hub_b), len(dst_b), len(src_b)) > 0xFF or len(
-            handoff.remaining
-        ) > 0xFF:
+        remaining = handoff.remaining
+        if is_fanout_tree(remaining):
+            hop_count = _TREE_SENTINEL
+            hop_area = HandoffRing._pack_tree(remaining)
+        else:
+            if len(remaining) >= _TREE_SENTINEL:
+                raise BufError(
+                    "hand-off route too long for the ring encoding"
+                )
+            hop_count = len(remaining)
+            hop_area = b"".join(_HOP.pack(hop) for hop in remaining)
+        if max(len(hub_b), len(dst_b), len(src_b)) > 0xFF:
             raise BufError(
                 f"hand-off record fields too large for the ring encoding"
             )
@@ -144,11 +184,9 @@ class HandoffRing:
             len(hub_b),
             len(dst_b),
             len(src_b),
-            len(handoff.remaining),
+            hop_count,
         )
-        body += hub_b + dst_b + src_b
-        for hop in handoff.remaining:
-            body += _HOP.pack(hop)
+        body += hub_b + dst_b + src_b + hop_area
         return body, source
 
     def push(self, handoff: Handoff) -> bool:
@@ -200,11 +238,14 @@ class HandoffRing:
         cursor += dst_len
         src = body[cursor : cursor + src_len].decode()
         cursor += src_len
-        remaining = tuple(
-            _HOP.unpack_from(body, cursor + _HOP.size * i)[0]
-            for i in range(n_hops)
-        )
-        cursor += _HOP.size * n_hops
+        if n_hops == _TREE_SENTINEL:
+            remaining, cursor = self._unpack_tree(body, cursor)
+        else:
+            remaining = tuple(
+                _HOP.unpack_from(body, cursor + _HOP.size * i)[0]
+                for i in range(n_hops)
+            )
+            cursor += _HOP.size * n_hops
         payload = body[cursor : cursor + payload_len]
         self.head.value = position + _LEN.size + body_len
         return Handoff(

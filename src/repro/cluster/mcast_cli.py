@@ -1,0 +1,128 @@
+"""``python -m repro mcast`` — multicast/collective benchmark driver.
+
+Examples::
+
+    python -m repro mcast                      # run all three legs, summarize
+    python -m repro mcast --json BENCH_mcast.json
+    python -m repro mcast --mode inline        # no worker processes
+    python -m repro mcast --check              # gate vs committed baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.cluster.mcast import (
+    check_against_baseline,
+    default_baseline_path,
+    render_bench_json,
+    run_mcast_bench,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro mcast",
+        description="NMP multicast fan-out and CAB-collective benchmark.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="parity-leg seed")
+    parser.add_argument(
+        "--messages", type=int, default=8, help="fan-out leg messages"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="barrier leg rounds"
+    )
+    parser.add_argument(
+        "--workers", default="1,4", help="comma list of parity worker counts"
+    )
+    parser.add_argument("--mode", default="process", choices=["inline", "process"])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="write bench report to PATH"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run the committed BENCH_mcast.json configuration and fail "
+        "on any deterministic regression",
+    )
+    return parser
+
+
+def _summarize(report: dict) -> None:
+    fanout = report["deterministic"]["fanout"]
+    barrier = report["deterministic"]["barrier"]
+    parity = report["deterministic"]["parity"]
+    print(
+        f"fanout: {fanout['frames_sent']} frames to {fanout['members']} members, "
+        f"{fanout['mcast_crossings']} inter-HUB crossings vs "
+        f"{fanout['unicast_equivalent_crossings']} unicast-equivalent "
+        f"(ratio {fanout['crossing_ratio']})"
+    )
+    print(
+        f"barrier: {barrier['members']} CABs x {barrier['rounds']} rounds, "
+        f"tree depth {barrier['tree_depth']}, "
+        f"{barrier['arrivals']} ARRIVEs, {barrier['releases']} RELEASEs"
+    )
+    verdict = "identical" if parity["verdict"] else "DIVERGED"
+    print(
+        f"parity: {parity['reference']['flows']} flow records, "
+        f"workers {sorted(parity['workers'], key=int)}: {verdict}"
+    )
+
+
+def _run_check(args) -> int:
+    path = default_baseline_path()
+    if not path.exists():
+        print(f"no committed baseline at {path}", file=sys.stderr)
+        return 1
+    committed = json.loads(path.read_text())
+    config = committed["config"]
+    report = run_mcast_bench(
+        seed=config["seed"],
+        messages=config["messages"],
+        rounds=config["rounds"],
+        workers=list(config["workers"]),
+        mode=config["mode"],
+    )
+    errors = check_against_baseline(committed, report)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    ratio = report["deterministic"]["fanout"]["crossing_ratio"]
+    print(f"OK: BENCH_mcast.json deterministic section holds (ratio {ratio})")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro mcast``; returns the exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.check:
+        return _run_check(args)
+    workers = [int(part) for part in args.workers.split(",") if part]
+    report = run_mcast_bench(
+        seed=args.seed,
+        messages=args.messages,
+        rounds=args.rounds,
+        workers=workers,
+        mode=args.mode,
+    )
+    rendered = render_bench_json(report)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(rendered)
+        _summarize(report)
+        print(f"wrote {args.json}")
+    else:
+        sys.stdout.write(rendered)
+        _summarize(report)
+    return 0 if report["deterministic"]["parity"]["verdict"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main(sys.argv[1:]))

@@ -49,6 +49,8 @@ _ZERO_RETRANSMITS = {
     "rmp_retransmits": 0,
     "rpc_retries": 0,
     "tcp_retransmits": 0,
+    "nmp_nacks": 0,
+    "nmp_repairs": 0,
 }
 
 
@@ -79,6 +81,8 @@ class ShardRunner:
             endpoints = {flow.src for flow in self.workload.flows} | {
                 flow.dst for flow in self.workload.flows
             }
+            for flow in self.workload.flows:
+                endpoints.update(flow.members)
             active_cabs = frozenset(endpoints)
             self._elided_cabs = tuple(
                 name

@@ -1,4 +1,4 @@
-"""Deterministic mixed fleet traffic: RMP + RPC + TCP flows from a seed.
+"""Deterministic mixed fleet traffic: RMP + RPC + TCP + multicast flows.
 
 A :class:`WorkloadSpec` expands to a flow list as a pure function of
 ``(seed, fleet spec)`` — every process that holds the same spec derives the
@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 from repro.cluster.fleet import FleetSpec
 from repro.errors import ConfigurationError
+from repro.hub.groups import GROUP_BASE
 from repro.protocols.headers import NectarTransportHeader
 
 __all__ = ["Flow", "Workload", "WorkloadSpec"]
@@ -35,18 +36,30 @@ _RPC_CLIENT_PORT = 0x3000
 _RPC_SERVICE_PORT = 0x2000
 _TCP_CLIENT_PORT = 6000
 _TCP_SERVER_PORT = 7000
+_NMP_PORT = 0x5000
+_COLL_PORT = 0x5800
 
 
 @dataclass(frozen=True)
 class Flow:
     """One traffic flow between two CABs, fully determined by the spec."""
 
-    index: int  # global flow number (port basis)
-    kind: str  # "rmp" | "rpc" | "tcp"
+    index: int  # global flow number (port basis and group id basis)
+    kind: str  # "rmp" | "rpc" | "tcp" | "mcast" | "barrier"
     src: str  # sending / client CAB name
     dst: str  # receiving / server CAB name
-    messages: int  # RMP messages, RPC calls, or TCP segments-worth
+    messages: int  # RMP/NMP messages, RPC calls, barrier rounds, TCP payloads
     size: int  # bytes per message / call / whole TCP payload
+    #: One-to-many flows only: the receiving group, in rank order.  For
+    #: "mcast" the src multicasts to these members (src is never a member);
+    #: for "barrier" the members *are* the flow (src/dst mirror the root
+    #: and last member for display).
+    members: tuple = ()
+
+    @property
+    def group_id(self) -> int:
+        """The fabric-level group address of a one-to-many flow."""
+        return GROUP_BASE + self.index
 
     @property
     def name(self) -> str:
@@ -71,6 +84,14 @@ class WorkloadSpec:
     rpc_calls: int = 3
     rpc_bytes: int = 128
     tcp_bytes: int = 4096
+    #: One-to-many traffic (defaults off: seeded expansions predating the
+    #: multicast plane are byte-identical).
+    mcast_flows: int = 0
+    mcast_messages: int = 4
+    mcast_bytes: int = 256
+    mcast_group: int = 4
+    barrier_flows: int = 0
+    barrier_rounds: int = 3
     #: Explicit :class:`Flow` tuple overriding the seeded expansion.  The
     #: ops lab uses this to pin incident traffic to known endpoints (the
     #: count/size fields above are ignored when set).  Flow indices must be
@@ -103,8 +124,43 @@ class WorkloadSpec:
             [("rmp", self.rmp_messages, self.rmp_bytes)] * self.rmp_flows
             + [("rpc", self.rpc_calls, self.rpc_bytes)] * self.rpc_flows
             + [("tcp", 1, self.tcp_bytes)] * self.tcp_flows
+            + [("mcast", self.mcast_messages, self.mcast_bytes)]
+            * self.mcast_flows
+            + [("barrier", self.barrier_rounds, 0)] * self.barrier_flows
         )
+        group = max(2, min(self.mcast_group, len(cabs) - 1))
         for index, (kind, messages, size) in enumerate(plan):
+            if kind == "mcast":
+                src = rng.choice(cabs)
+                members = tuple(
+                    rng.sample([name for name in cabs if name != src], group)
+                )
+                flows.append(
+                    Flow(
+                        index=index,
+                        kind=kind,
+                        src=src,
+                        dst=members[-1],
+                        messages=messages,
+                        size=size,
+                        members=members,
+                    )
+                )
+                continue
+            if kind == "barrier":
+                members = tuple(rng.sample(cabs, min(len(cabs), group + 1)))
+                flows.append(
+                    Flow(
+                        index=index,
+                        kind=kind,
+                        src=members[0],
+                        dst=members[-1],
+                        messages=messages,
+                        size=size,
+                        members=members,
+                    )
+                )
+                continue
             src = rng.choice(cabs)
             dst = rng.choice(cabs)
             while dst == src:
@@ -142,9 +198,18 @@ class Workload:
     def install(self, system) -> None:
         """Wire up every flow half whose CAB has a stack on ``system``."""
         for flow in self.flows:
+            if flow.kind == "mcast":
+                # Group membership is fabric state: every shard registers
+                # it (in the same global order) so the crossbars of *any*
+                # hub a fan-out tree crosses resolve the group address.
+                system.network.groups.register(flow.group_id, flow.members)
             src = system.nodes.get(flow.src)
             dst = system.nodes.get(flow.dst)
-            if src is None and dst is None:
+            if (
+                src is None
+                and dst is None
+                and not any(name in system.nodes for name in flow.members)
+            ):
                 continue
             installer = getattr(self, f"_install_{flow.kind}")
             installer(system, flow, src, dst)
@@ -190,6 +255,74 @@ class Workload:
                 self._record(system, flow, total, flow.messages)
 
             dst.runtime.fork_application(receiver(), f"{flow.name}-recv")
+
+    def _record_member(
+        self, system, flow: Flow, member: str, nbytes: int, messages: int
+    ) -> None:
+        """One group member's completion record (keyed flow@member so the
+        shards' result sets stay disjoint and union to the reference's)."""
+        self.flow_results[f"{flow.name}@{member}"] = {
+            "kind": flow.kind,
+            "src": flow.src,
+            "dst": member,
+            "bytes": nbytes,
+            "messages": messages,
+            "completed_ns": system.sim.now,
+        }
+
+    def _install_mcast(self, system, flow: Flow, src, dst) -> None:
+        port = _NMP_PORT + flow.index
+        member_ids = tuple(
+            system.registry.node_id(name) for name in flow.members
+        )
+        if src is not None:
+            session = src.nmp.open_sender(flow.group_id, port, member_ids)
+
+            def sender():
+                for k in range(flow.messages):
+                    yield from src.nmp.send(session, flow.payload(k))
+                yield from src.nmp.flush(session)
+
+            src.runtime.fork_application(sender(), f"{flow.name}-send")
+        for rank, member in enumerate(flow.members):
+            node = system.nodes.get(member)
+            if node is None:
+                continue
+            inbox = node.runtime.mailbox(f"{flow.name}-inbox-{member}")
+            membership = node.nmp.join(flow.group_id, port, rank, inbox)
+            assert membership.rank == rank
+
+            def receiver(member=member, inbox=inbox):
+                total = 0
+                for _ in range(flow.messages):
+                    msg = yield from inbox.begin_get()
+                    total += msg.size
+                    yield from inbox.end_get(msg)
+                self._record_member(system, flow, member, total, flow.messages)
+
+            node.runtime.fork_application(
+                receiver(), f"{flow.name}-recv-{member}"
+            )
+
+    def _install_barrier(self, system, flow: Flow, src, dst) -> None:
+        port = _COLL_PORT + flow.index
+        member_ids = tuple(
+            system.registry.node_id(name) for name in flow.members
+        )
+        for rank, member in enumerate(flow.members):
+            node = system.nodes.get(member)
+            if node is None:
+                continue
+            group = node.coll.create(flow.group_id, port, member_ids, rank)
+
+            def worker(member=member, node=node, group=group):
+                for _ in range(flow.messages):
+                    yield from node.coll.barrier(group)
+                self._record_member(system, flow, member, 0, flow.messages)
+
+            node.runtime.fork_application(
+                worker(), f"{flow.name}-bar-{member}"
+            )
 
     def _install_rpc(self, system, flow: Flow, src, dst) -> None:
         dst_id = system.registry.node_id(flow.dst)
@@ -283,6 +416,8 @@ class Workload:
                 "rmp_retransmits": stats.value("rmp_retransmits"),
                 "rpc_retries": stats.value("rpc_retries"),
                 "tcp_retransmits": stats.value("tcp_retransmits"),
+                "nmp_nacks": stats.value("nmp_nacks_out"),
+                "nmp_repairs": stats.value("nmp_repairs_out"),
             }
         return {
             "flows": dict(sorted(self.flow_results.items())),
@@ -290,17 +425,22 @@ class Workload:
         }
 
     def incomplete(self, system) -> tuple:
-        """Names of locally-observed flows that never completed."""
-        local = [
-            flow.name
-            for flow in self.flows
-            if self._observer(flow) in system.nodes
-        ]
+        """Names of locally-observed flow records that never completed."""
+        local = []
+        for flow in self.flows:
+            if flow.members:
+                local.extend(
+                    f"{flow.name}@{member}"
+                    for member in flow.members
+                    if member in system.nodes
+                )
+            elif self._observer(flow) in system.nodes:
+                local.append(flow.name)
         return tuple(
             name for name in local if name not in self.flow_results
         )
 
     @staticmethod
     def _observer(flow: Flow) -> str:
-        """The CAB that records a flow's completion."""
+        """The CAB that records a one-to-one flow's completion."""
         return flow.src if flow.kind == "rpc" else flow.dst

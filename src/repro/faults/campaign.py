@@ -1,12 +1,17 @@
 """Chaos campaigns: run the reliable transports under a fault plan.
 
-A campaign assembles the paper's two-CAB measurement rig, attaches the
-scenario's :class:`~repro.faults.plan.FaultPlan`, and drives three
-concurrent workloads across the faulty fabric:
+A campaign assembles a four-CAB extension of the paper's measurement rig
+(``cab-a`` through ``cab-d`` on one HUB), attaches the scenario's
+:class:`~repro.faults.plan.FaultPlan`, and drives four concurrent
+workloads across the faulty fabric:
 
 * **RMP** — a stream of stop-and-wait messages (``cab-a`` -> ``cab-b``),
 * **request-response** — an RPC client calling an echo-upper server,
-* **TCP** — a byte stream pushed through a full connection.
+* **TCP** — a byte stream pushed through a full connection,
+* **NMP** — a reliable multicast stream from ``cab-a`` to the group
+  {``cab-b``, ``cab-c``, ``cab-d``}: every member must see every message
+  exactly once, in order, even when fan-out replicas are dropped on
+  individual branches.
 
 When the simulation settles, the campaign checks the repo's core invariant
 — every workload delivered **exactly once, in order, bit-exact** — and
@@ -30,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ProtocolError
 from repro.sim.core import SimulationError
 from repro.faults.scenarios import SCENARIOS, build
+from repro.hub.groups import GROUP_BASE
 from repro.protocols.headers import NectarTransportHeader
 from repro.system import NectarSystem
 from repro.telemetry.metrics import Histogram
@@ -53,16 +59,17 @@ class _Sizes:
     rmp_messages: int
     rpc_requests: int
     tcp_bytes: int
+    nmp_messages: int
 
     @classmethod
     def full(cls) -> "_Sizes":
         """The standard campaign load."""
-        return cls(rmp_messages=12, rpc_requests=8, tcp_bytes=6144)
+        return cls(rmp_messages=12, rpc_requests=8, tcp_bytes=6144, nmp_messages=10)
 
     @classmethod
     def smoke(cls) -> "_Sizes":
         """A fast load for CI smoke runs."""
-        return cls(rmp_messages=4, rpc_requests=3, tcp_bytes=1024)
+        return cls(rmp_messages=4, rpc_requests=3, tcp_bytes=1024, nmp_messages=4)
 
 
 @dataclass
@@ -178,6 +185,51 @@ def _workload_tcp(a, b, payload: bytes, outcome: WorkloadOutcome) -> None:
     b.runtime.fork_application(collector(), "chaos-tcp-collector")
 
 
+def _workload_nmp(system, sender, members, outcomes) -> None:
+    """Fork the NMP multicast workload: one sender, every member a receiver.
+
+    ``outcomes`` maps ``nmp-<member>`` to that member's
+    :class:`WorkloadOutcome`; all share the same ``expected`` list, so the
+    campaign's exactly-once/in-order invariant applies per member.
+    """
+    group_id = GROUP_BASE + 1
+    port = 0x4100
+    system.network.groups.register(group_id, tuple(n.name for n in members))
+    session = sender.nmp.open_sender(
+        group_id, port, tuple(n.node_id for n in members)
+    )
+    expected = outcomes[f"nmp-{members[0].name}"].expected
+
+    def producer():
+        """Multicast the whole stream, then flush the watermark."""
+        try:
+            for payload in expected:
+                yield from sender.nmp.send(session, payload)
+            yield from sender.nmp.flush(session)
+        except ProtocolError as exc:
+            for outcome in outcomes.values():
+                if outcome.error is None:
+                    outcome.error = f"sender: {exc}"
+
+    for rank, node in enumerate(members):
+        outcome = outcomes[f"nmp-{node.name}"]
+        inbox = node.runtime.mailbox(f"chaos-nmp-{node.name}")
+        membership = node.nmp.join(group_id, port, rank, inbox)
+        assert membership.rank == rank
+
+        def collector(inbox=inbox, outcome=outcome):
+            """Collect this member's copy of the stream in arrival order."""
+            for _ in outcome.expected:
+                msg = yield from inbox.begin_get()
+                outcome.received.append(msg.read())
+                yield from inbox.end_get(msg)
+            outcome.finished = True
+
+        node.runtime.fork_application(collector(), f"chaos-nmp-recv-{node.name}")
+
+    sender.runtime.fork_application(producer(), "chaos-nmp-sender")
+
+
 @dataclass
 class _CampaignRun:
     """Everything one execution of a campaign produced."""
@@ -209,8 +261,14 @@ def _run_once(scenario: str, seed: int, sizes: _Sizes) -> _CampaignRun:
     hub = system.add_hub("hub0")
     a = system.add_node("cab-a", hub, 0)
     b = system.add_node("cab-b", hub, 1)
+    c = system.add_node("cab-c", hub, 2)
+    d = system.add_node("cab-d", hub, 3)
     injector = system.attach_fault_plan(build(scenario, seed))
 
+    nmp_expected = [
+        bytes([0x40 + index]) * (64 * (index % 3 + 1))
+        for index in range(sizes.nmp_messages)
+    ]
     outcomes = {
         "rmp": WorkloadOutcome(
             "rmp",
@@ -222,7 +280,12 @@ def _run_once(scenario: str, seed: int, sizes: _Sizes) -> _CampaignRun:
         "rpc": WorkloadOutcome("rpc"),
         "tcp": WorkloadOutcome("tcp"),
     }
+    for member in (b, c, d):
+        outcomes[f"nmp-{member.name}"] = WorkloadOutcome(
+            f"nmp-{member.name}", expected=list(nmp_expected)
+        )
     _workload_rmp(a, b, outcomes["rmp"])
+    _workload_nmp(system, a, (b, c, d), outcomes)
     _workload_rpc(
         a,
         b,
@@ -245,6 +308,10 @@ def _run_once(scenario: str, seed: int, sizes: _Sizes) -> _CampaignRun:
         ("cab-a.hw", a.cab.stats),
         ("cab-b", b.runtime.stats),
         ("cab-b.hw", b.cab.stats),
+        ("cab-c", c.runtime.stats),
+        ("cab-c.hw", c.cab.stats),
+        ("cab-d", d.runtime.stats),
+        ("cab-d.hw", d.cab.stats),
         ("net", system.network.stats),
         ("fault", injector.stats),
     ):
@@ -287,7 +354,7 @@ class CampaignReport:
 
     @property
     def retransmissions(self) -> int:
-        """All retransmit counters across the three transports."""
+        """All retransmit counters across the four transports."""
         return self._counter(
             "cab-a.rmp_retransmits",
             "cab-b.rmp_retransmits",
@@ -295,12 +362,23 @@ class CampaignReport:
             "cab-b.rpc_retries",
             "cab-a.tcp_retransmits",
             "cab-b.tcp_retransmits",
+            "cab-a.nmp_repairs_out",
         )
+
+    @property
+    def nmp_nacks(self) -> int:
+        """NACKs actually put on the wire by the multicast members."""
+        return self._counter(*(f"cab-{m}.nmp_nacks_out" for m in "bcd"))
+
+    @property
+    def nmp_suppressed(self) -> int:
+        """NACK timers cancelled because another member's repair arrived."""
+        return self._counter(*(f"cab-{m}.nmp_nacks_suppressed" for m in "bcd"))
 
     @property
     def crc_drops(self) -> int:
         """Frames rejected by the receive-side hardware CRC check."""
-        return self._counter("cab-a.hw.crc_errors", "cab-b.hw.crc_errors")
+        return self._counter(*(f"cab-{m}.hw.crc_errors" for m in "abcd"))
 
     @property
     def dropped(self) -> int:
@@ -308,10 +386,8 @@ class CampaignReport:
         return (
             self._counter(
                 "net.frames_dropped",
-                "cab-a.hw.dl_fault_drops",
-                "cab-b.hw.dl_fault_drops",
-                "cab-a.fault_lost_messages",
-                "cab-b.fault_lost_messages",
+                *(f"cab-{m}.hw.dl_fault_drops" for m in "abcd"),
+                *(f"cab-{m}.fault_lost_messages" for m in "abcd"),
             )
             + self.crc_drops
         )
@@ -351,16 +427,26 @@ class CampaignReport:
             f"rmp={self._counter('cab-a.rmp_retransmits', 'cab-b.rmp_retransmits')}"
             f" rpc={self._counter('cab-a.rpc_retries', 'cab-b.rpc_retries')}"
             f" tcp={self._counter('cab-a.tcp_retransmits', 'cab-b.tcp_retransmits')}"
+            f" nmp={self._counter('cab-a.nmp_repairs_out')}"
+        )
+        nacks = self.nmp_nacks
+        suppressed = self.nmp_suppressed
+        timers = nacks + suppressed
+        effectiveness = (
+            f"{100 * suppressed // timers}%" if timers else "n/a"
+        )
+        lines.append(
+            "  nack suppression: "
+            f"nacks={nacks} suppressed={suppressed} "
+            f"effectiveness={effectiveness}"
         )
         injected = self._counter(
             "fault.fault_drop", "fault.fault_rx-drop", "fault.fault_mbox-lose"
         )
         observed = self._counter(
             "net.frames_dropped",
-            "cab-a.hw.dl_fault_drops",
-            "cab-b.hw.dl_fault_drops",
-            "cab-a.fault_lost_messages",
-            "cab-b.fault_lost_messages",
+            *(f"cab-{m}.hw.dl_fault_drops" for m in "abcd"),
+            *(f"cab-{m}.fault_lost_messages" for m in "abcd"),
         )
         lines.append(f"  drops: injected={injected} observed={observed}")
         hist = Histogram("fault.fire_time_ns", buckets=_FIRE_BUCKETS)

@@ -8,6 +8,9 @@ if-guard in the style of the PR 1 sanitizers:
   (:meth:`~repro.hub.network.NectarNetwork._link_tx_loop`): applies
   ``drop``/``corrupt`` faults and ``crash`` blackouts.
 * ``link_delay_ns(src)`` — same site: extra ``stall`` delay for the frame.
+* ``on_fanout_branch(src, dest, replica)`` — HUB crossbar fan-out
+  (:meth:`~repro.hub.network._HubForwarder.accept_tree`): directed ``drop``
+  faults and ``crash`` blackouts on individual branches of a fan-out tree.
 * ``datalink_rx_drop(node, frame)`` — datalink start-of-packet handler:
   ``rx-drop`` faults discard a good frame before dispatch.
 * ``mailbox_lose(node, mailbox, msg)`` — mailbox queueing: ``mbox-lose``
@@ -182,6 +185,36 @@ class Injector:
                 if state.decide():
                     frame.corrupt(state.rng.randrange(frame.size))
                     self._fire(state, site)
+
+    def on_fanout_branch(self, src: str, dest: str, replica) -> None:
+        """HUB fan-out hook: may drop one replica on one branch of the tree.
+
+        Replicas share payload storage with their siblings (zero-copy
+        crossbar fan-out), so only loss faults apply here — a ``corrupt``
+        would flip the byte in every sibling at once.  ``crash`` blackouts
+        eat replicas headed for the crashed CAB; ``drop`` specs apply only
+        with a directed ``"sender->branch"`` pattern, keeping plain
+        ``where`` specs' meaning (source egress, before replication)
+        unchanged.
+        """
+        now = self._clock()
+        for state in self._states:
+            spec = state.spec
+            if spec.kind != CRASH or not spec.in_window(now):
+                continue
+            if spec.matches_site(dest):
+                replica.drop = True
+                self._fire(state, dest)
+        if replica.drop:
+            return
+        pair = f"{src}->{dest}"
+        for state in self._states:
+            spec = state.spec
+            if spec.kind != DROP or "->" not in spec.where:
+                continue
+            if spec.in_window(now) and spec.matches_site(pair) and state.decide():
+                replica.drop = True
+                self._fire(state, pair)
 
     def link_delay_ns(self, src: str) -> int:
         """Extra delay the sending link must add before this frame (stall)."""

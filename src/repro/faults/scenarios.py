@@ -16,6 +16,10 @@ to starve the protocols to death.
 * ``overloaded-fifo`` — ``cab-b``'s input FIFO is squeezed to a sliver and
   ``cab-a``'s link stalls per frame, exercising back-pressure; light
   mailbox loss at ``tcp-input`` models host-interface pressure.
+* ``multicast-storm`` — directed drops on individual fan-out branches
+  (``cab-a->cab-b``, ``cab-a->cab-d``) so *different* multicast members
+  miss *different* replicas, plus a corruption window at source egress:
+  the NACK-suppression and repair-multicast workout.
 """
 
 from __future__ import annotations
@@ -100,12 +104,35 @@ def overloaded_fifo(seed: int) -> FaultPlan:
     )
 
 
+def multicast_storm(seed: int) -> FaultPlan:
+    """Branch-directed replica drops + an egress corruption window.
+
+    The directed ``src->dst`` drop specs fire on individual crossbar
+    fan-out branches, so one multicast frame can reach ``cab-c`` while its
+    siblings' replicas vanish — exactly the asymmetric loss NORM-style
+    NACK suppression and repair multicast exist for.  A light undirected
+    drop keeps the unicast workloads honest too.
+    """
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(kind=DROP, where="cab-a->cab-b", probability=0.3),
+            FaultSpec(kind=DROP, where="cab-a->cab-d", probability=0.2),
+            FaultSpec(
+                kind=CORRUPT, where="*", probability=0.4, window_ns=(us(400), ms(1))
+            ),
+            FaultSpec(kind=DROP, where="*", probability=0.02),
+        ),
+    )
+
+
 #: Scenario name -> plan builder.  Names are CLI-visible.
 SCENARIOS: Dict[str, Callable[[int], FaultPlan]] = {
     "lossy-link": lossy_link,
     "bursty-corruption": bursty_corruption,
     "flapping-cab": flapping_cab,
     "overloaded-fifo": overloaded_fifo,
+    "multicast-storm": multicast_storm,
 }
 
 

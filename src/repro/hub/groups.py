@@ -1,0 +1,146 @@
+"""Group addressing: the HUB-resident multicast fan-out tables.
+
+A *group address* is a node id in the reserved class-D-style range at
+:data:`GROUP_BASE` and above.  The :class:`GroupTable` maps each group id to
+an ordered member list and, per sender, to a *fan-out tree*: the merge of
+the members' unicast source routes, so one frame leaves the sender and is
+replicated by the HUB crossbars only where the members' paths diverge —
+switch-level fan-out instead of N unicast sends.
+
+A fan-out tree is a tuple of *branches*; each branch is ``(port, subtree)``
+where ``port`` is an output port of the current HUB and ``subtree`` is the
+tree to apply at whatever that port attaches to.  An empty subtree means the
+port attaches the destination CAB directly.  Unicast routes stay flat tuples
+of ints, so a frame is multicast exactly when ``route[0]`` is a tuple — the
+discriminator :func:`is_fanout_tree` checks.
+
+The table is pure topology state: it must be registered in the same order
+with the same membership on every shard of a partitioned fleet (exactly
+like :meth:`NodeRegistry.register`), and ghost members resolve fine because
+routes come from the shared :class:`~repro.hub.routing.Topology`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GROUP_BASE", "GroupTable", "is_fanout_tree", "merge_routes"]
+
+#: Lowest node id that addresses a group rather than a single CAB.  CAB ids
+#: are assigned sequentially from 1; this leaves them the whole low range.
+GROUP_BASE = 0xE0000000
+
+
+def is_fanout_tree(route: tuple) -> bool:
+    """Whether a frame route is a multicast fan-out tree (vs a flat route)."""
+    return bool(route) and isinstance(route[0], tuple)
+
+
+def merge_routes(routes: Tuple[Tuple[int, ...], ...]) -> tuple:
+    """Merge flat unicast source routes into one fan-out tree.
+
+    Branch order is first-appearance order of the leading port across the
+    member routes, which makes the tree deterministic for a fixed member
+    registration order — the property the cluster seam's parity relies on.
+    """
+    order = []
+    tails: Dict[int, list] = {}
+    terminal: Dict[int, bool] = {}
+    for route in routes:
+        if not route:
+            raise ConfigurationError("cannot merge an empty route into a tree")
+        port = route[0]
+        if port not in tails:
+            order.append(port)
+            tails[port] = []
+            terminal[port] = False
+        if len(route) == 1:
+            terminal[port] = True
+        else:
+            tails[port].append(route[1:])
+    for port in order:
+        if terminal[port] and tails[port]:
+            raise ConfigurationError(
+                f"port {port} both terminates a route and continues one"
+            )
+    return tuple((port, merge_routes(tuple(tails[port]))) for port in order)
+
+
+def tree_leaves(tree: tuple) -> int:
+    """Number of destination CABs a fan-out tree reaches."""
+    total = 0
+    for _port, subtree in tree:
+        total += 1 if not subtree else tree_leaves(subtree)
+    return total
+
+
+class GroupTable:
+    """Group id -> ordered member names, plus per-sender fan-out trees."""
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._members: Dict[int, Tuple[str, ...]] = {}
+        self._trees: Dict[Tuple[str, int], tuple] = {}
+
+    def register(self, group_id: int, members: Tuple[str, ...]) -> None:
+        """Declare a group.  Idempotent for identical membership.
+
+        Must be called in the same order with the same members on every
+        shard (the fleet seam's usual construction discipline).
+        """
+        if group_id < GROUP_BASE:
+            raise ConfigurationError(
+                f"group id 0x{group_id:x} is below GROUP_BASE 0x{GROUP_BASE:x}"
+            )
+        members = tuple(members)
+        if not members:
+            raise ConfigurationError(f"group 0x{group_id:x} has no members")
+        if len(set(members)) != len(members):
+            raise ConfigurationError(f"group 0x{group_id:x} repeats a member")
+        existing = self._members.get(group_id)
+        if existing is not None:
+            if existing != members:
+                raise ConfigurationError(
+                    f"group 0x{group_id:x} re-registered with different members"
+                )
+            return
+        self._members[group_id] = members
+        self._trees.clear()
+
+    def is_group(self, node_id: int) -> bool:
+        """Whether ``node_id`` is a registered group address."""
+        return node_id in self._members
+
+    def members(self, group_id: int) -> Tuple[str, ...]:
+        """The group's member CAB names, in rank order."""
+        try:
+            return self._members[group_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown group 0x{group_id:x}") from None
+
+    def rank_of(self, group_id: int, member: str) -> int:
+        """The member's index in registration order (its NACK-timer rank)."""
+        try:
+            return self.members(group_id).index(member)
+        except ValueError:
+            raise ConfigurationError(
+                f"{member!r} is not a member of group 0x{group_id:x}"
+            ) from None
+
+    def fanout_tree(self, src: str, group_id: int) -> tuple:
+        """The fan-out tree for frames from ``src`` to the group (cached)."""
+        key = (src, group_id)
+        tree = self._trees.get(key)
+        if tree is None:
+            routes = []
+            for member in self.members(group_id):
+                if member == src:
+                    raise ConfigurationError(
+                        f"{src!r} cannot multicast to a group containing itself"
+                    )
+                routes.append(self.topology.compute_route(src, member))
+            tree = merge_routes(tuple(routes))
+            self._trees[key] = tree
+        return tree

@@ -37,6 +37,7 @@ from typing import Callable, Deque, Dict, Generator, Optional, Protocol, Set, Un
 from repro.buf.packet import BufView
 from repro.errors import ConfigurationError, RouteError
 from repro.hub.crossbar import Hub, PortAttachment, PortKind
+from repro.hub.groups import GroupTable, is_fanout_tree
 from repro.hub.routing import Topology
 from repro.hw.fiber import FiberIn, FiberOut, Frame
 from repro.model.costs import CostModel
@@ -135,6 +136,9 @@ class _HubForwarder:
                 f"{self.hub.name}: frame #{frame.seqno} arrived with an "
                 f"exhausted route"
             )
+        if is_fanout_tree(remaining):
+            self.accept_tree(remaining, frame)
+            return
         port = remaining[0]
         network = self.network
         token = None
@@ -152,6 +156,45 @@ class _HubForwarder:
                     + network.costs.hub_hop_ns
                     + network._tx_floor_ns(frame.size)
                 )
+        self._enqueue(port, remaining, frame, token)
+
+    def accept_tree(self, tree: tuple, frame: Frame) -> None:
+        """Event context: replicate a multicast frame across its branches.
+
+        This is the crossbar fan-out: one arrived frame becomes one replica
+        per branch, each sharing the arrival's payload storage through a
+        retained :class:`~repro.buf.packet.BufView` — no byte copies.  The
+        arrival's own reference is dropped once every branch holds its own.
+        """
+        network = self.network
+        for port, subtree in tree:
+            replica = network._clone_frame(frame, (port, subtree))
+            hooks = network.fault_hooks
+            if hooks is not None:
+                network._fault_fanout_branch(self.hub, port, subtree, replica)
+                if replica.drop:
+                    network.stats.add("frames_dropped")
+                    replica.release()
+                    continue
+            network.stats.add("mcast_replicas")
+            token = None
+            if subtree and network.local_hubs is not None:
+                attachment = self.hub.attachment(port)
+                if (
+                    attachment.kind is PortKind.HUB
+                    and attachment.target.name not in network.local_hubs
+                ):
+                    token = network._intent_register(
+                        network.sim.now
+                        + network.costs.hub_hop_ns
+                        + network._tx_floor_ns(replica.size)
+                    )
+            self._enqueue(port, (port, subtree), replica, token)
+        frame.release()
+
+    def _enqueue(
+        self, port: int, remaining: tuple, frame: Frame, token: Optional[int]
+    ) -> None:
         self._queues.setdefault(port, deque()).append((remaining, frame, token))
         if port not in self._active:
             self._active.add(port)
@@ -174,10 +217,15 @@ class _HubForwarder:
         network = self.network
         costs = network.costs
         attachment = self.hub.attachment(port)
+        # A multicast branch entry is (port, subtree); its onward route is
+        # the subtree (a fan-out tree for the next HUB, or () at a CAB).
+        is_branch = len(remaining) == 2 and isinstance(remaining[1], tuple)
+        onward = remaining[1] if is_branch else remaining[1:]
+        terminal = not remaining[1] if is_branch else len(remaining) == 1
         yield self.hub.acquire_output(port)
         try:
             if attachment.kind is PortKind.CAB:
-                if len(remaining) != 1:
+                if not terminal:
                     raise RouteError(
                         f"{self.hub.name}: route {remaining} reaches a CAB "
                         f"with hops left"
@@ -189,7 +237,7 @@ class _HubForwarder:
                 network.stats.add("frames_delivered")
                 network.stats.add("bytes_delivered", frame.size)
             else:
-                if len(remaining) == 1:
+                if terminal:
                     raise RouteError(
                         f"{self.hub.name}: route ends on the inter-hub link "
                         f"at port {port}"
@@ -197,8 +245,10 @@ class _HubForwarder:
                 yield network.sim.timeout(costs.hub_hop_ns)
                 yield network.sim.timeout(costs.fiber_tx_ns(frame.size))
                 network.stats.add("frames_forwarded")
+                if is_branch:
+                    network.stats.add("mcast_crossings")
                 network._handoff(
-                    self.hub, port, attachment.target.name, remaining[1:], frame
+                    self.hub, port, attachment.target.name, onward, frame
                 )
         finally:
             self.hub.release_output(port)
@@ -272,6 +322,8 @@ class NectarNetwork:
         self.sim = sim
         self.costs = costs
         self.topology = Topology()
+        #: Multicast group addresses and their per-sender fan-out trees.
+        self.groups = GroupTable(self.topology)
         self.nodes: Dict[str, NetworkNode] = {}
         self.stats = StatsRegistry()
         #: Called once per frame at egress; may corrupt bytes or set drop.
@@ -465,6 +517,8 @@ class NectarNetwork:
                 yield from self._stream_frame(node, fifo, chunk, plan)
                 self.stats.add("frames_delivered")
                 self.stats.add("bytes_delivered", frame.size)
+            elif is_fanout_tree(frame.route):
+                yield from self._tx_multicast(node, fifo, chunk, frame)
             elif self._crosses_hubs(node, frame):
                 yield from self._tx_to_neighbor_hub(node, fifo, chunk, frame)
             else:
@@ -492,6 +546,11 @@ class NectarNetwork:
         circuit = frame.circuit
         if circuit is not None:
             return circuit.plan.dest.name  # type: ignore[attr-defined]
+        if is_fanout_tree(frame.route):
+            # A multicast frame has many destinations; directed per-member
+            # faults match at the fan-out branches instead (see
+            # Injector.on_fanout_branch).
+            return "mcast"
         return self.topology.cab_on_route(node.name, frame.route)
 
     # -- the inter-hub seam -------------------------------------------------------
@@ -534,6 +593,64 @@ class NectarNetwork:
             )
         finally:
             self._intent_clear(token)
+
+    def _tx_multicast(self, node, fifo, first_chunk, frame: Frame) -> Generator:
+        """Store-and-forward a group frame into its HUB and fan it out.
+
+        The sender emits *one* frame; the source HUB (and every HUB a
+        branch reaches) replicates it along the fan-out tree, so the
+        per-member cost moves from the sending CAB's link to the crossbars
+        where the members' paths actually diverge.
+        """
+        hub, _port = self.topology.hub_of(node.name)
+        token = None
+        if self.local_hubs is not None and any(
+            subtree
+            and hub.attachment(port).kind is PortKind.HUB
+            and hub.attachment(port).target.name not in self.local_hubs
+            for port, subtree in frame.route
+        ):
+            # At least one branch is cut-bound: cover the whole fan-out
+            # with one conservative intent until the per-branch intents
+            # are registered at accept time.
+            token = self._intent_register(
+                self.sim.now
+                + self.costs.hub_setup_ns
+                + self.costs.fiber_propagation_ns
+                + self._tx_floor_ns(frame.size)
+            )
+        try:
+            yield self.sim.timeout(
+                self.costs.hub_setup_ns + self.costs.fiber_propagation_ns
+            )
+            yield from self._consume_frame(fifo, first_chunk)
+            self.stats.add("mcast_frames")
+            self._forwarder_for(hub.name).accept_tree(frame.route, frame)
+        finally:
+            self._intent_clear(token)
+
+    def _clone_frame(self, frame: Frame, remaining: tuple) -> Frame:
+        """A replica sharing the original's payload storage (one retain)."""
+        replica = Frame(
+            route=remaining, payload=frame.payload.retain(), src=frame.src
+        )
+        replica.crc = frame.crc
+        replica.seqno = frame.seqno
+        replica.created_ns = frame.created_ns
+        return replica
+
+    def _fault_fanout_branch(
+        self, hub: Hub, port: int, subtree: tuple, replica: Frame
+    ) -> None:
+        """Give the fault injector one shot at a single fan-out branch.
+
+        The branch's destination label is the attached CAB for a leaf
+        branch or the neighbour HUB's name for an interior one, so directed
+        ``"sender->member"`` specs can sever one member's replica while the
+        rest of the group delivers — the NACK/repair storm scenario.
+        """
+        dest = hub.attachment(port).target.name
+        self.fault_hooks.on_fanout_branch(replica.src, dest, replica)
 
     def _handoff(
         self,
@@ -590,19 +707,23 @@ class NectarNetwork:
         fire_ns: int,
         key: tuple,
     ) -> None:
-        forwarder = self._forwarders.get(dst_hub_name)
-        if forwarder is None:
-            hub = self.topology.hubs.get(dst_hub_name)
-            if hub is None:
-                raise RouteError(f"hand-off to unknown hub {dst_hub_name!r}")
-            forwarder = _HubForwarder(self, hub)
-            self._forwarders[dst_hub_name] = forwarder
+        forwarder = self._forwarder_for(dst_hub_name)
         self.sim.call_at(
             fire_ns,
             lambda: forwarder.accept(remaining, frame),
             key=key,
             name=f"arrive:{dst_hub_name}",
         )
+
+    def _forwarder_for(self, hub_name: str) -> _HubForwarder:
+        forwarder = self._forwarders.get(hub_name)
+        if forwarder is None:
+            hub = self.topology.hubs.get(hub_name)
+            if hub is None:
+                raise RouteError(f"hand-off to unknown hub {hub_name!r}")
+            forwarder = _HubForwarder(self, hub)
+            self._forwarders[hub_name] = forwarder
+        return forwarder
 
     def inject_handoff(self, handoff: Handoff) -> None:
         """Deliver a :class:`Handoff` exported by another shard.

@@ -149,6 +149,10 @@ class CostModel:
     nectar_datagram_ns: int = us(12)
     nectar_rmp_ns: int = us(10)
     nectar_reqresp_ns: int = us(12)
+    #: NMP multicast per-message processing (DATA/NACK/repair FSM steps)
+    #: and collective FSM steps (arrive/release/broadcast hops). [derived]
+    nectar_nmp_ns: int = us(10)
+    nectar_coll_ns: int = us(6)
 
     # ----------------------------------------------------------------- host CPU
     #: Host CPU clock (Sun-4 class). [era]

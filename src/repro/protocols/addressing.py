@@ -88,6 +88,13 @@ class NodeRegistry:
             raise AddressError(f"no node with IP {format_ip(ip)}")
         return self._id_by_ip[ip]
 
-    def route_to(self, src_name: str, dst_node_id: int) -> tuple[int, ...]:
-        """Source route from a CAB to a node id."""
+    def route_to(self, src_name: str, dst_node_id: int) -> tuple:
+        """Source route from a CAB to a node id.
+
+        A group address (see :mod:`repro.hub.groups`) resolves to the
+        sender's fan-out tree instead of a flat port list; the fabric
+        replicates such frames at the crossbars.
+        """
+        if self.network.groups.is_group(dst_node_id):
+            return self.network.groups.fanout_tree(src_name, dst_node_id)
         return self.network.route_for(src_name, self.name_of(dst_node_id))

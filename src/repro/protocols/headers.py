@@ -350,11 +350,22 @@ class ICMPHeader:
 NECTAR_PROTO_DATAGRAM = 1
 NECTAR_PROTO_RMP = 2
 NECTAR_PROTO_REQRESP = 3
+NECTAR_PROTO_NMP = 4
+NECTAR_PROTO_COLL = 5
 
 NECTAR_KIND_DATA = 0
 NECTAR_KIND_ACK = 1
 NECTAR_KIND_REQUEST = 2
 NECTAR_KIND_RESPONSE = 3
+# NMP (NACK-oriented reliable multicast, repro.protocols.nectar.nmp)
+NECTAR_KIND_NACK = 4
+NECTAR_KIND_REPAIR = 5
+NECTAR_KIND_SYNC = 6
+NECTAR_KIND_SYNC_ACK = 7
+# CAB-resident collectives (repro.protocols.nectar.collective)
+NECTAR_KIND_ARRIVE = 8
+NECTAR_KIND_RELEASE = 9
+NECTAR_KIND_BCAST = 10
 
 _NT_FMT = ">BBHIIIIII"
 

@@ -7,15 +7,27 @@ transport mechanism for client-server RPC calls."
 
 None of them computes a software checksum — they rely on the CRC implemented
 by the CAB hardware, which is why RMP outruns TCP in Figure 7.
+
+Two protocols added on top of the paper's three prove its thesis that the
+CAB runtime makes transports cheap to add: NMP (NACK-oriented reliable
+multicast over HUB crossbar fan-out) and the CAB-resident collective
+engine (barrier/broadcast trees run at interrupt time on the NIC).
 """
 
 from repro.protocols.nectar.transport import NectarTransportLayer
+from repro.protocols.nectar.collective import CollectiveEngine, CollectiveGroup
 from repro.protocols.nectar.datagram import DatagramProtocol
+from repro.protocols.nectar.nmp import NMPProtocol, NMPReceiver, NMPSender
 from repro.protocols.nectar.rmp import RMPChannel, RMPProtocol
 from repro.protocols.nectar.reqresp import RequestResponseProtocol
 
 __all__ = [
+    "CollectiveEngine",
+    "CollectiveGroup",
     "DatagramProtocol",
+    "NMPProtocol",
+    "NMPReceiver",
+    "NMPSender",
     "NectarTransportLayer",
     "RMPChannel",
     "RMPProtocol",

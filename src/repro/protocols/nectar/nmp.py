@@ -1,0 +1,481 @@
+"""NMP: NACK-oriented reliable multicast over the Nectar fabric.
+
+The Nectar Message-multicast Protocol sends sequenced DATA frames to a
+*group address* (see :mod:`repro.hub.groups`): the sender emits one frame
+and the HUB crossbars replicate it along the group's fan-out tree.  Loss
+recovery is receiver-driven in the NORM style (RFC 5740's shape):
+
+* Each receiver delivers in order from ``next_seq`` and parks out-of-order
+  arrivals in a bounded reorder window.  A sequence gap arms a *NACK timer*
+  whose delay is ``NMP_NACK_BASE_NS + rank * NMP_NACK_STRIDE_NS`` — the
+  deterministic analogue of NORM's randomized suppression backoff.  The
+  lowest-ranked gapped member NACKs first; the sender's *repair* goes to
+  the whole group, so higher-ranked members see the gap close before their
+  timers fire and count a suppressed NACK instead of sending one.
+* The sender keeps the last :data:`NMP_REPAIR_WINDOW` payloads (the
+  half-open repair window ``(send_seq - window, send_seq]``) and answers
+  NACKs with multicast REPAIR frames, rate-limited per sequence by a
+  holdoff so a synchronized NACK burst triggers one repair, not N.
+* Tail loss cannot arm a gap timer, so :meth:`NMPProtocol.flush` closes a
+  stream NORM-watermark style: the sender multicasts SYNC carrying the
+  highest sequence and retransmits it on timeout until every member has
+  unicast a SYNC_ACK at or above the watermark (receivers learn the
+  watermark, NACK their missing tail, and ACK once delivery reaches it).
+
+State on both sides is bounded: the sender holds one repair window and a
+per-member sync set, the receiver one reorder window; everything else is
+counters.  Delivery to each member is exactly-once and in-order by
+construction (the ``next_seq``/window dedup), which the 20-seed fault
+campaigns assert end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.cab.cpu import Compute
+from repro.errors import ProtocolError
+from repro.protocols.headers import (
+    NECTAR_KIND_DATA,
+    NECTAR_KIND_NACK,
+    NECTAR_KIND_REPAIR,
+    NECTAR_KIND_SYNC,
+    NECTAR_KIND_SYNC_ACK,
+    NECTAR_PROTO_NMP,
+    NectarTransportHeader,
+)
+from repro.protocols.nectar.transport import NectarTransportLayer
+from repro.runtime.kernel import Runtime
+from repro.runtime.mailbox import Mailbox, Message
+from repro.units import ms, us
+
+__all__ = ["NMPProtocol", "NMPReceiver", "NMPSender"]
+
+#: Sender repair window: payloads retained for retransmission.
+NMP_REPAIR_WINDOW = 64
+#: Receiver reorder window: out-of-order frames parked awaiting repair.
+NMP_RECV_WINDOW = 64
+#: Base NACK-timer delay once a gap is detected.
+NMP_NACK_BASE_NS = us(150)
+#: Extra delay per member rank: the deterministic suppression stagger.
+#: Must exceed one NACK+repair round trip (~350us under load on the
+#: reference fabric) plus the spread in gap-detection times across
+#: members, so the first NACKer's repair reaches the rest of the group
+#: before their timers fire.
+NMP_NACK_STRIDE_NS = us(500)
+#: Re-NACK a still-open gap after this long.
+NMP_NACK_RTO_NS = ms(1)
+#: Sender ignores further NACKs for a sequence this soon after repairing
+#: it (must stay below NMP_NACK_RTO_NS or lost repairs become permanent).
+NMP_REPAIR_HOLDOFF_NS = us(300)
+#: SYNC (watermark) retransmission timeout during flush.
+NMP_SYNC_RTO_NS = ms(2)
+#: Give up flushing after this many SYNC rounds.
+NMP_MAX_TRIES = 10
+
+
+class NMPSender:
+    """Sender-side state of one multicast stream (one group port)."""
+
+    def __init__(
+        self, nmp: "NMPProtocol", group_id: int, port: int, members: Tuple[int, ...]
+    ):
+        self.nmp = nmp
+        self.group_id = group_id
+        self.port = port
+        #: Node ids of the group members (the SYNC_ACK roll call).
+        self.members = members
+        self.send_seq = 0
+        #: The half-open repair window: seq -> payload bytes.
+        self.window: Dict[int, bytes] = {}
+        #: Last repair emission per sequence (NACK-burst holdoff).
+        self.repair_at: Dict[int, int] = {}
+        #: Flush state: watermark awaiting SYNC_ACKs from ``synced``.
+        self.watermark = -1
+        self.synced: set = set()
+        self.mutex = nmp.runtime.mutex(f"nmp{port}-send")
+        self.sync_mutex = nmp.runtime.mutex(f"nmp{port}-syncwait")
+        self.sync_cond = nmp.runtime.condition(f"nmp{port}-sync")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NMPSender port={self.port} group=0x{self.group_id:x} "
+            f"seq={self.send_seq}>"
+        )
+
+
+class NMPReceiver:
+    """Receiver-side state of one group membership (one group port)."""
+
+    def __init__(
+        self,
+        nmp: "NMPProtocol",
+        group_id: int,
+        port: int,
+        rank: int,
+        deliver_mailbox: Mailbox,
+    ):
+        self.nmp = nmp
+        self.group_id = group_id
+        self.port = port
+        #: This member's index in the group: its NACK-timer stagger.
+        self.rank = rank
+        self.deliver_mailbox = deliver_mailbox
+        #: Next sequence to deliver (everything below is done).
+        self.next_seq = 0
+        #: Out-of-order arrivals parked until the gap below them closes.
+        self.pending: Dict[int, Message] = {}
+        #: Highest sequence known to exist (arrivals and SYNC watermarks).
+        self.highest = -1
+        #: Sender's flush watermark, and the highest watermark we ACKed.
+        self.watermark = -1
+        self.acked_watermark = -1
+        #: Learned from the first frame; NACK/SYNC_ACK destination.
+        self.sender_node: Optional[int] = None
+        self.open = True
+        self.mutex = nmp.runtime.mutex(f"nmp{port}-recv")
+        self.cond = nmp.runtime.condition(f"nmp{port}-gap")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NMPReceiver port={self.port} group=0x{self.group_id:x} "
+            f"rank={self.rank} next={self.next_seq}>"
+        )
+
+
+class NMPProtocol:
+    """The NACK-oriented reliable multicast protocol of one CAB."""
+
+    def __init__(self, transport: NectarTransportLayer):
+        self.transport = transport
+        self.runtime: Runtime = transport.runtime
+        self.costs = self.runtime.costs
+        self.stats = self.runtime.stats
+        self._senders: Dict[int, NMPSender] = {}
+        self._receivers: Dict[Tuple[int, int], NMPReceiver] = {}
+        transport.register(NECTAR_PROTO_NMP, self._input)
+
+    # -- session management ------------------------------------------------------
+
+    def open_sender(
+        self, group_id: int, port: int, members: Tuple[int, ...]
+    ) -> NMPSender:
+        """Open the sending end of a multicast stream on a group port."""
+        if port in self._senders:
+            raise ProtocolError(f"NMP sender port {port} already open")
+        session = NMPSender(self, group_id, port, tuple(members))
+        self._senders[port] = session
+        return session
+
+    def join(
+        self, group_id: int, port: int, rank: int, deliver_mailbox: Mailbox
+    ) -> NMPReceiver:
+        """Join a group as receiver ``rank``; starts the gap-repair thread."""
+        key = (group_id, port)
+        if key in self._receivers:
+            raise ProtocolError(
+                f"NMP group 0x{group_id:x} port {port} already joined"
+            )
+        session = NMPReceiver(self, group_id, port, rank, deliver_mailbox)
+        self._receivers[key] = session
+        self.runtime.fork_system(
+            self._repair_loop(session), name=f"nmp-gap:{port}"
+        )
+        return session
+
+    def leave(self, session: NMPReceiver) -> None:
+        """Tear down a receiver membership (frees any parked messages)."""
+        session.open = False
+        self._receivers.pop((session.group_id, session.port), None)
+        self.runtime.ops.signal_nocost(session.cond)
+
+    # -- sending (thread context) ------------------------------------------------
+
+    def send(self, session: NMPSender, data: bytes) -> Generator:
+        """Reliably multicast one message (returns once it is on the wire;
+        delivery assurance comes from :meth:`flush`)."""
+        ops = self.runtime.ops
+        yield from ops.lock(session.mutex)
+        try:
+            yield Compute(self.costs.nectar_nmp_ns)
+            seq = session.send_seq
+            session.send_seq += 1
+            session.window[seq] = data
+            session.window.pop(seq - NMP_REPAIR_WINDOW, None)
+            session.repair_at.pop(seq - NMP_REPAIR_WINDOW, None)
+            header = NectarTransportHeader(
+                protocol=NECTAR_PROTO_NMP,
+                kind=NECTAR_KIND_DATA,
+                seq=seq,
+                src_port=session.port,
+                dst_node=session.group_id,
+                dst_port=session.port,
+            )
+            packet = yield from self.transport.input_mailbox.begin_put(
+                NectarTransportHeader.SIZE + len(data)
+            )
+            yield Compute(self.costs.cab_memcpy_ns(len(data)))
+            packet.write(NectarTransportHeader.SIZE, data)
+            yield from self.transport.send_message(header, packet)
+            self.stats.add("nmp_data_out")
+        finally:
+            yield from ops.unlock(session.mutex)
+
+    def flush(self, session: NMPSender) -> Generator:
+        """Close the stream's tail: SYNC until every member ACKs the
+        watermark (NORM's watermark flush).  Raises ProtocolError when a
+        member stays silent for :data:`NMP_MAX_TRIES` rounds."""
+        if session.send_seq == 0:
+            return
+        ops = self.runtime.ops
+        watermark = session.send_seq - 1
+        yield from ops.lock(session.sync_mutex)
+        try:
+            if session.watermark != watermark:
+                session.watermark = watermark
+                session.synced = set()
+            tries = 0
+            while len(session.synced) < len(session.members):
+                if tries >= NMP_MAX_TRIES:
+                    missing = len(session.members) - len(session.synced)
+                    raise ProtocolError(
+                        f"NMP flush: {missing} member(s) never ACKed "
+                        f"watermark {watermark} after {NMP_MAX_TRIES} SYNCs"
+                    )
+                tries += 1
+                header = NectarTransportHeader(
+                    protocol=NECTAR_PROTO_NMP,
+                    kind=NECTAR_KIND_SYNC,
+                    seq=watermark,
+                    src_port=session.port,
+                    dst_node=session.group_id,
+                    dst_port=session.port,
+                )
+                yield from self.transport.send_control(header)
+                self.stats.add("nmp_syncs_out")
+                deadline = self.runtime.sim.now + NMP_SYNC_RTO_NS
+                while len(session.synced) < len(session.members):
+                    remaining = deadline - self.runtime.sim.now
+                    if remaining <= 0:
+                        break
+                    yield from ops.timed_wait(
+                        session.sync_cond, session.sync_mutex, remaining
+                    )
+        finally:
+            yield from ops.unlock(session.sync_mutex)
+
+    # -- the receiver's gap/NACK timer thread --------------------------------------
+
+    def nack_delay_ns(self, rank: int) -> int:
+        """This member's deterministic NACK suppression delay."""
+        return NMP_NACK_BASE_NS + rank * NMP_NACK_STRIDE_NS
+
+    def _gap(self, session: NMPReceiver) -> bool:
+        return session.open and session.next_seq <= session.highest
+
+    def _repair_loop(self, session: NMPReceiver) -> Generator:
+        """System thread: arm NACK timers for gaps, suppress on repair.
+
+        Runs for the life of the membership; parks on the condition when
+        delivery is gapless, so an idle group costs no events.
+        """
+        ops = self.runtime.ops
+        sim = self.runtime.sim
+        yield from ops.lock(session.mutex)
+        while session.open:
+            if not self._gap(session):
+                yield from ops.wait(session.cond, session.mutex)
+                continue
+            first = session.next_seq
+            deadline = sim.now + self.nack_delay_ns(session.rank)
+            while session.open and session.next_seq == first:
+                remaining = deadline - sim.now
+                if remaining <= 0:
+                    break
+                yield from ops.timed_wait(
+                    session.cond, session.mutex, remaining
+                )
+            if not session.open:
+                break
+            if session.next_seq > first:
+                # A repair (or the reordered original) closed the head
+                # gap before our timer fired: the NACK is suppressed —
+                # someone lower-ranked spoke for us.
+                self.stats.add("nmp_nacks_suppressed")
+                continue
+            yield from self._send_nack(session)
+            # Holdoff: give the repair a round trip before re-NACKing.
+            deadline = sim.now + NMP_NACK_RTO_NS
+            while session.open and session.next_seq == first:
+                remaining = deadline - sim.now
+                if remaining <= 0:
+                    break
+                yield from ops.timed_wait(
+                    session.cond, session.mutex, remaining
+                )
+        yield from ops.unlock(session.mutex)
+
+    def _send_nack(self, session: NMPReceiver) -> Generator:
+        if session.sender_node is None:
+            return
+        start = session.next_seq
+        count = 0
+        seq = start
+        while (
+            seq <= session.highest
+            and seq not in session.pending
+            and count < NMP_RECV_WINDOW
+        ):
+            count += 1
+            seq += 1
+        yield Compute(self.costs.nectar_nmp_ns)
+        header = NectarTransportHeader(
+            protocol=NECTAR_PROTO_NMP,
+            kind=NECTAR_KIND_NACK,
+            seq=start,
+            flags=count,
+            src_port=session.port,
+            dst_node=session.sender_node,
+            dst_port=session.port,
+        )
+        yield from self.transport.send_control(header)
+        self.stats.add("nmp_nacks_out")
+
+    # -- receiving (interrupt context) ---------------------------------------------
+
+    def _input(self, msg: Message, header: NectarTransportHeader) -> Generator:
+        kind = header.kind
+        if kind in (NECTAR_KIND_NACK, NECTAR_KIND_SYNC_ACK):
+            yield from self._sender_input(msg, header)
+            return
+        session = self._receivers.get((header.dst_node, header.dst_port))
+        if session is None:
+            self.stats.add("nmp_no_port")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            return
+        yield Compute(self.costs.nectar_nmp_ns)
+        session.sender_node = header.src_node
+        if kind == NECTAR_KIND_SYNC:
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            yield from self._recv_sync(session, header.seq)
+            return
+        if kind not in (NECTAR_KIND_DATA, NECTAR_KIND_REPAIR):
+            self.stats.add("nmp_malformed")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            return
+        yield from self._recv_data(session, msg, header)
+
+    def _recv_data(
+        self, session: NMPReceiver, msg: Message, header: NectarTransportHeader
+    ) -> Generator:
+        seq = header.seq
+        if seq < session.next_seq or seq in session.pending:
+            self.stats.add("nmp_duplicates")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            return
+        if seq >= session.next_seq + NMP_RECV_WINDOW:
+            self.stats.add("nmp_out_of_window")
+            yield from self.transport.input_mailbox.iabort_put(msg)
+            return
+        self.stats.add(
+            "nmp_repairs_in" if header.kind == NECTAR_KIND_REPAIR else "nmp_data_in"
+        )
+        session.highest = max(session.highest, seq)
+        msg.trim_front(NectarTransportHeader.SIZE)
+        if seq == session.next_seq:
+            session.next_seq += 1
+            yield from self.transport.input_mailbox.ienqueue(
+                msg, session.deliver_mailbox
+            )
+            while session.next_seq in session.pending:
+                parked = session.pending.pop(session.next_seq)
+                session.next_seq += 1
+                yield from self.transport.input_mailbox.ienqueue(
+                    parked, session.deliver_mailbox
+                )
+        else:
+            session.pending[seq] = msg
+        # Wake the gap thread: either a new gap just opened or the head
+        # advanced (cancelling / rescheduling any armed NACK timer).
+        self.runtime.ops.signal_nocost(session.cond)
+        if (
+            session.watermark >= 0
+            and session.next_seq > session.watermark
+            and session.acked_watermark < session.watermark
+        ):
+            yield from self._send_sync_ack(session, session.watermark)
+
+    def _recv_sync(self, session: NMPReceiver, watermark: int) -> Generator:
+        self.stats.add("nmp_syncs_in")
+        session.watermark = max(session.watermark, watermark)
+        session.highest = max(session.highest, watermark)
+        if session.next_seq > watermark:
+            # Everything at or below the watermark already delivered:
+            # (re-)ACK even if we ACKed before — the previous ACK may be
+            # the very loss the sender is retrying around.
+            yield from self._send_sync_ack(session, watermark)
+        else:
+            # The watermark proves a tail gap: arm the NACK timer.
+            self.runtime.ops.signal_nocost(session.cond)
+
+    def _send_sync_ack(self, session: NMPReceiver, watermark: int) -> Generator:
+        if session.sender_node is None:
+            return
+        session.acked_watermark = max(session.acked_watermark, watermark)
+        header = NectarTransportHeader(
+            protocol=NECTAR_PROTO_NMP,
+            kind=NECTAR_KIND_SYNC_ACK,
+            seq=watermark,
+            src_port=session.port,
+            dst_node=session.sender_node,
+            dst_port=session.port,
+        )
+        yield from self.transport.send_control(header)
+        self.stats.add("nmp_sync_acks_out")
+
+    # -- sender-side control input (interrupt context) -------------------------------
+
+    def _sender_input(
+        self, msg: Message, header: NectarTransportHeader
+    ) -> Generator:
+        yield from self.transport.input_mailbox.iabort_put(msg)
+        session = self._senders.get(header.dst_port)
+        if session is None:
+            self.stats.add("nmp_no_port")
+            return
+        yield Compute(self.costs.nectar_nmp_ns)
+        if header.kind == NECTAR_KIND_SYNC_ACK:
+            self.stats.add("nmp_sync_acks_in")
+            if header.seq >= session.watermark >= 0:
+                session.synced.add(header.src_node)
+                if len(session.synced) >= len(session.members):
+                    self.runtime.ops.signal_nocost(session.sync_cond)
+            return
+        self.stats.add("nmp_nacks_in")
+        start = header.seq
+        count = max(1, header.flags)
+        now = self.runtime.sim.now
+        for seq in range(start, min(start + count, session.send_seq)):
+            payload = session.window.get(seq)
+            if payload is None:
+                # Evicted from the repair window: unrecoverable for this
+                # member.  Bounded state has a price; count it honestly.
+                self.stats.add("nmp_repair_misses")
+                continue
+            last = session.repair_at.get(seq)
+            if last is not None and now - last < NMP_REPAIR_HOLDOFF_NS:
+                # A synchronized NACK burst for the same loss: one repair
+                # is already in flight, skip the duplicates.
+                self.stats.add("nmp_repairs_skipped")
+                continue
+            session.repair_at[seq] = now
+            repair = NectarTransportHeader(
+                protocol=NECTAR_PROTO_NMP,
+                kind=NECTAR_KIND_REPAIR,
+                seq=seq,
+                src_port=session.port,
+                dst_node=session.group_id,
+                dst_port=session.port,
+            )
+            yield from self.transport.send_raw_message(repair, payload)
+            self.stats.add("nmp_repairs_out")

@@ -71,6 +71,22 @@ class NectarTransportLayer:
             header.dst_node, DL_TYPE_NECTAR, header.pack()
         )
 
+    def send_raw_message(
+        self, header: NectarTransportHeader, payload: bytes
+    ) -> Generator:
+        """Thread- or interrupt-context: transmit a header plus raw payload.
+
+        The repair path: NMP repair retransmissions and collective
+        broadcast forwards fire from interrupt handlers, where a mailbox
+        allocation could block — so the payload rides as already-held raw
+        bytes through :meth:`Datalink.send_raw` (one counted copy).
+        """
+        header.src_node = self.node_id
+        header.length = len(payload)
+        yield from self.datalink.send_raw(
+            header.dst_node, DL_TYPE_NECTAR, header.pack() + payload
+        )
+
     # -- receive demux (interrupt context) -------------------------------------------
 
     def _demux(self, msg: Message, dl_header: DatalinkHeader) -> Generator:

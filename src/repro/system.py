@@ -29,7 +29,9 @@ from repro.protocols.addressing import NodeRegistry
 from repro.protocols.datalink import Datalink
 from repro.protocols.icmp import ICMPProtocol
 from repro.protocols.ip import IPProtocol
+from repro.protocols.nectar.collective import CollectiveEngine
 from repro.protocols.nectar.datagram import DatagramProtocol
+from repro.protocols.nectar.nmp import NMPProtocol
 from repro.protocols.nectar.reqresp import RequestResponseProtocol
 from repro.protocols.nectar.rmp import RMPProtocol
 from repro.protocols.nectar.transport import NectarTransportLayer
@@ -88,6 +90,8 @@ class NectarNode:
         self.datagram = DatagramProtocol(self.nectar)
         self.rmp = RMPProtocol(self.nectar)
         self.rpc = RequestResponseProtocol(self.nectar)
+        self.nmp = NMPProtocol(self.nectar)
+        self.coll = CollectiveEngine(self.nectar)
 
     @property
     def ip_address(self) -> int:

@@ -105,6 +105,48 @@ def test_parity_matrix(shape, seed):
             )
 
 
+# -- the fan-out entry: multicast + barrier flows through the same matrix ----
+#
+# One-to-many flows stress the seams the unicast matrix never touches: group
+# registration order, replicated-frame hand-offs between shards, and the
+# collective engine's cross-shard ARRIVE/RELEASE traffic.
+
+FANOUT_SEEDS = [5, 6]
+
+
+def fanout_workload(seed: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        seed=seed,
+        rmp_flows=1,
+        rpc_flows=0,
+        tcp_flows=0,
+        mcast_flows=2,
+        mcast_group=6,
+        barrier_flows=1,
+    )
+
+
+@pytest.mark.parametrize("seed", FANOUT_SEEDS)
+def test_fanout_parity_across_workers_and_modes(seed):
+    """Multicast/barrier results are worker-count and mode independent."""
+    fleet = line_fleet(4, 4, hub_ports=8)
+    workload = fanout_workload(seed)
+    reference = run_reference(fleet, workload)
+    assert reference.incomplete == []
+    kinds = {record["kind"] for record in reference.flows.values()}
+    assert "mcast" in kinds and "barrier" in kinds
+    digest = reference.protocol_digest()
+    for n_workers in (1, 4):
+        for mode in ("inline", "process"):
+            result = Conductor(
+                fleet, workload, n_workers=n_workers, mode=mode
+            ).run()
+            assert result.protocol_digest() == digest, (
+                f"fanout seed={seed} workers={n_workers} mode={mode} "
+                f"diverged from the reference"
+            )
+
+
 def test_completion_times_are_plausible():
     """Parity aside, the merged records must be self-consistent."""
     workload = mixed_workload(0)

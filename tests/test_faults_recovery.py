@@ -11,11 +11,12 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.faults.campaign import run_campaign
-from repro.faults.plan import CORRUPT, DROP, FaultPlan, FaultSpec
+from repro.faults.plan import CORRUPT, DROP, STALL, FaultPlan, FaultSpec
+from repro.hub.groups import GROUP_BASE
 from repro.protocols.tcp.connection import MAX_RETRANSMITS
 from repro.protocols.nectar.rmp import RMP_MAX_TRIES
 from repro.system import NectarSystem
-from repro.units import seconds
+from repro.units import seconds, us
 
 SEEDS = range(1, 21)
 
@@ -56,7 +57,8 @@ class TestCampaignProperty:
         assert total_crc_drops > 0
 
     @pytest.mark.parametrize(
-        "scenario", ["bursty-corruption", "flapping-cab", "overloaded-fifo"]
+        "scenario",
+        ["bursty-corruption", "flapping-cab", "overloaded-fifo", "multicast-storm"],
     )
     def test_other_scenarios_hold_the_invariant(self, scenario):
         for seed in (1, 7, 13):
@@ -168,6 +170,88 @@ class TestTCPProperty:
             assert system.run_until(done, limit=seconds(60)) == payload
             total_retransmits += a.runtime.stats.value("tcp_retransmits")
         assert total_retransmits > 0
+
+
+class TestNMPProperty:
+    """NMP multicast delivers exactly once, in order, to *every* member,
+    for every seed — and tears down with zero live packet buffers."""
+
+    def _run_multicast(self, plan, n_members=3, n_messages=5):
+        system = NectarSystem()
+        hub = system.add_hub("hub0")
+        sender = system.add_node("cab-s", hub, 0)
+        members = [
+            system.add_node(f"cab-m{i}", hub, i + 1) for i in range(n_members)
+        ]
+        system.attach_fault_plan(plan)
+        group_id = GROUP_BASE + 1
+        system.network.groups.register(
+            group_id, tuple(node.name for node in members)
+        )
+        payloads = [
+            bytes([k + 1]) * (80 * (k % 3 + 1)) for k in range(n_messages)
+        ]
+        session = sender.nmp.open_sender(
+            group_id, 0x4100, tuple(node.node_id for node in members)
+        )
+        received = {node.name: [] for node in members}
+
+        def producer():
+            for payload in payloads:
+                yield from sender.nmp.send(session, payload)
+            yield from sender.nmp.flush(session)
+
+        for rank, node in enumerate(members):
+            inbox = node.runtime.mailbox(f"inbox-{node.name}")
+            node.nmp.join(group_id, 0x4100, rank, inbox)
+
+            def collector(inbox=inbox, sink=received[node.name]):
+                for _ in payloads:
+                    msg = yield from inbox.begin_get()
+                    sink.append(msg.read())
+                    yield from inbox.end_get(msg)
+
+            node.runtime.fork_application(collector(), f"recv-{node.name}")
+        sender.runtime.fork_application(producer(), "send")
+        system.run(until=seconds(30))
+        return system, sender, members, payloads, received
+
+    def test_exactly_once_in_order_under_loss_across_seeds(self):
+        total_nacks = 0
+        total_repairs = 0
+        for seed in SEEDS:
+            system, sender, members, payloads, received = self._run_multicast(
+                lossy_plan(seed, p_drop=0.12, p_corrupt=0.08)
+            )
+            for node in members:
+                assert received[node.name] == payloads, f"seed {seed} {node.name}"
+            assert system.copy_meter.live_buffers == 0, f"seed {seed}"
+            total_nacks += sum(
+                node.runtime.stats.value("nmp_nacks_out") for node in members
+            )
+            total_repairs += sender.runtime.stats.value("nmp_repairs_out")
+        assert total_nacks > 0
+        assert total_repairs > 0
+
+    def test_exactly_once_in_order_under_stall_and_loss_across_seeds(self):
+        """Per-frame stalls jitter delivery spacing while drops open gaps;
+        the receive window must still reassemble the exact stream."""
+        for seed in SEEDS:
+            plan = FaultPlan(
+                seed=seed,
+                specs=(
+                    FaultSpec(
+                        kind=STALL, where="cab-s", stall_ns=us(40), probability=0.5
+                    ),
+                    FaultSpec(kind=DROP, where="*", probability=0.08),
+                ),
+            )
+            system, _sender, members, payloads, received = self._run_multicast(
+                plan
+            )
+            for node in members:
+                assert received[node.name] == payloads, f"seed {seed} {node.name}"
+            assert system.copy_meter.live_buffers == 0, f"seed {seed}"
 
 
 class TestBoundedRetry:

@@ -77,6 +77,50 @@ class TestRoundtrip:
             ring.push(make_handoff(1, dst_hub="h" * 300))
 
 
+class TestFanoutTreeEncoding:
+    """Multicast hand-offs carry a recursive fan-out tree, not a flat route."""
+
+    def test_tree_remaining_round_trips(self):
+        tree = ((2, ()), (5, ((1, ()), (3, ((4, ()),)))))
+        ring = ring_of(4096)
+        assert ring.push(make_handoff(9, remaining=tree))
+        decoded = ring.pop()
+        assert decoded.remaining == tree
+
+    def test_single_branch_tree_stays_a_tree(self):
+        """A one-branch tree must not decode as a flat one-hop route."""
+        tree = ((7, ()),)
+        ring = ring_of(4096)
+        assert ring.push(make_handoff(1, remaining=tree))
+        assert ring.pop().remaining == tree
+
+    def test_tree_and_flat_records_interleave(self):
+        ring = ring_of(4096)
+        tree = ((1, ((2, ()),)), (3, ()))
+        assert ring.push(make_handoff(1, remaining=(6, 4)))
+        assert ring.push(make_handoff(2, remaining=tree))
+        assert ring.push(make_handoff(3, remaining=()))
+        assert ring.pop().remaining == (6, 4)
+        assert ring.pop().remaining == tree
+        assert ring.pop().remaining == ()
+
+    def test_deep_tree_survives_wraparound(self):
+        ring = ring_of(192)
+        tree = ((0, ((1, ((2, ((3, ()),)),)),)),)
+        for round_no in range(32):
+            assert ring.push(make_handoff(round_no, remaining=tree))
+            assert ring.pop().remaining == tree
+
+    def test_too_wide_tree_rejected(self):
+        too_wide = tuple((port, ()) for port in range(255))
+        with pytest.raises(BufError, match="too wide"):
+            ring_of(65536).push(make_handoff(1, remaining=too_wide))
+
+    def test_too_long_flat_route_rejected(self):
+        with pytest.raises(BufError, match="too long"):
+            ring_of(65536).push(make_handoff(1, remaining=tuple(range(255))))
+
+
 class TestWraparound:
     def test_records_split_across_the_physical_end(self):
         # Capacity chosen so records land on awkward offsets and every

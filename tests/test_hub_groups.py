@@ -1,0 +1,129 @@
+"""Unit tests for group addressing: merge_routes and the GroupTable.
+
+The fan-out tree is the HUB plane's multicast primitive: the merge of the
+members' unicast source routes, deterministic in registration order.  These
+tests pin the merge algebra (shared prefixes collapse, divergence points
+branch, conflicts raise) and the table's registration discipline.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hub.groups import (
+    GROUP_BASE,
+    GroupTable,
+    is_fanout_tree,
+    merge_routes,
+    tree_leaves,
+)
+from repro.system import NectarSystem
+
+GID = GROUP_BASE + 7
+
+
+class TestMergeRoutes:
+    def test_single_route_is_a_chain(self):
+        assert merge_routes(((3, 1, 4),)) == ((3, ((1, ((4, ()),)),)),)
+
+    def test_shared_prefix_collapses(self):
+        tree = merge_routes(((5, 1), (5, 2)))
+        assert tree == ((5, ((1, ()), (2, ()))),)
+        assert tree_leaves(tree) == 2
+
+    def test_divergent_heads_branch_at_the_root(self):
+        tree = merge_routes(((1,), (2,), (3,)))
+        assert tree == ((1, ()), (2, ()), (3, ()))
+        assert tree_leaves(tree) == 3
+
+    def test_branch_order_is_first_appearance_order(self):
+        tree = merge_routes(((9, 1), (2,), (9, 3)))
+        assert [port for port, _sub in tree] == [9, 2]
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty route"):
+            merge_routes(((1,), ()))
+
+    def test_terminal_and_continuing_conflict_rejected(self):
+        with pytest.raises(ConfigurationError, match="both terminates"):
+            merge_routes(((4,), (4, 2)))
+
+    def test_discriminator_separates_trees_from_flat_routes(self):
+        assert is_fanout_tree(((3, ()),))
+        assert not is_fanout_tree((3, 1, 4))
+        assert not is_fanout_tree(())
+
+
+def fleet_rig():
+    """Two HUBs in a line: cab-a on hub0; cab-b, cab-c, cab-d on hub1."""
+    system = NectarSystem()
+    hub0 = system.add_hub("hub0")
+    hub1 = system.add_hub("hub1")
+    system.connect_hubs(hub0, 15, hub1, 15)
+    a = system.add_node("cab-a", hub0, 0)
+    b = system.add_node("cab-b", hub1, 0)
+    c = system.add_node("cab-c", hub1, 1)
+    d = system.add_node("cab-d", hub1, 2)
+    return system, (a, b, c, d)
+
+
+class TestGroupTable:
+    def test_registration_and_rank_order(self):
+        system, _nodes = fleet_rig()
+        table = system.network.groups
+        table.register(GID, ("cab-b", "cab-c", "cab-d"))
+        assert table.is_group(GID)
+        assert not table.is_group(GID + 1)
+        assert table.members(GID) == ("cab-b", "cab-c", "cab-d")
+        assert table.rank_of(GID, "cab-c") == 1
+
+    def test_idempotent_for_identical_membership(self):
+        system, _nodes = fleet_rig()
+        table = system.network.groups
+        table.register(GID, ("cab-b", "cab-c"))
+        table.register(GID, ("cab-b", "cab-c"))
+        assert table.members(GID) == ("cab-b", "cab-c")
+
+    def test_conflicting_reregistration_rejected(self):
+        system, _nodes = fleet_rig()
+        table = system.network.groups
+        table.register(GID, ("cab-b", "cab-c"))
+        with pytest.raises(ConfigurationError, match="different members"):
+            table.register(GID, ("cab-c", "cab-b"))
+
+    def test_low_id_empty_and_duplicate_memberships_rejected(self):
+        system, _nodes = fleet_rig()
+        table = system.network.groups
+        with pytest.raises(ConfigurationError, match="below GROUP_BASE"):
+            table.register(42, ("cab-b",))
+        with pytest.raises(ConfigurationError, match="no members"):
+            table.register(GID, ())
+        with pytest.raises(ConfigurationError, match="repeats a member"):
+            table.register(GID, ("cab-b", "cab-b"))
+
+    def test_unknown_group_and_member_raise(self):
+        system, _nodes = fleet_rig()
+        table = system.network.groups
+        with pytest.raises(ConfigurationError, match="unknown group"):
+            table.members(GID)
+        table.register(GID, ("cab-b",))
+        with pytest.raises(ConfigurationError, match="not a member"):
+            table.rank_of(GID, "cab-z")
+
+    def test_fanout_tree_collapses_the_shared_inter_hub_hop(self):
+        """All three members live behind the same hub0->hub1 port, so the
+        tree has exactly one root branch — one inter-HUB frame, replicated
+        only at hub1."""
+        system, _nodes = fleet_rig()
+        table = system.network.groups
+        table.register(GID, ("cab-b", "cab-c", "cab-d"))
+        tree = table.fanout_tree("cab-a", GID)
+        assert is_fanout_tree(tree)
+        assert len(tree) == 1
+        assert tree_leaves(tree) == 3
+
+    def test_sender_in_group_rejected(self):
+        system, _nodes = fleet_rig()
+        table = system.network.groups
+        table.register(GID, ("cab-a", "cab-b"))
+        with pytest.raises(ConfigurationError, match="containing itself"):
+            table.fanout_tree("cab-a", GID)

@@ -1,0 +1,153 @@
+"""The ``python -m repro mcast`` CLI and its BENCH_mcast.json contract."""
+
+import copy
+import json
+import pathlib
+import subprocess
+import sys
+
+from repro.cluster import mcast_cli
+from repro.cluster.mcast import (
+    check_against_baseline,
+    default_baseline_path,
+    render_bench_json,
+    run_barrier_leg,
+    run_fanout_leg,
+    run_mcast_bench,
+)
+from repro.protocols.nectar.collective import tree_depth
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+SMALL = dict(seed=0, messages=2, rounds=1, workers=[1, 2], mode="inline")
+
+
+class TestBenchReport:
+    def test_deterministic_section_is_byte_stable(self):
+        first = run_mcast_bench(**SMALL)
+        second = run_mcast_bench(**SMALL)
+        stable = lambda report: json.dumps(
+            {"config": report["config"], "deterministic": report["deterministic"]},
+            sort_keys=True,
+        )
+        assert stable(first) == stable(second)
+        # Wall-clock lives only in the quarantined section.
+        assert "wall_ns" not in json.dumps(first["deterministic"])
+        assert render_bench_json(first).endswith("\n")
+
+    def test_fanout_leg_beats_unicast_and_leaks_nothing(self):
+        leg = run_fanout_leg(messages=2)
+        assert leg["incomplete"] == []
+        assert leg["live_buffers"] == 0
+        assert leg["mcast_crossings"] < leg["unicast_equivalent_crossings"]
+        assert leg["crossing_ratio"] <= 1.0 / leg["members"] + 1e-9
+
+    def test_barrier_leg_round_count_is_logarithmic(self):
+        leg = run_barrier_leg(rounds=2)
+        assert leg["incomplete"] == []
+        assert leg["tree_depth"] == tree_depth(leg["members"])
+        assert leg["barriers_completed"] == leg["members"] * 2
+        assert leg["arrivals"] == (leg["members"] - 1) * 2
+
+
+class TestCheckGate:
+    def fresh_report(self):
+        return run_mcast_bench(**SMALL)
+
+    def test_identical_reports_pass(self):
+        report = self.fresh_report()
+        assert check_against_baseline(copy.deepcopy(report), report) == []
+
+    def test_parity_break_is_caught(self):
+        fresh = self.fresh_report()
+        committed = copy.deepcopy(fresh)
+        fresh["deterministic"]["parity"]["verdict"] = False
+        errors = check_against_baseline(committed, fresh)
+        assert any("parity broken" in error for error in errors)
+
+    def test_crossing_ratio_regression_is_caught(self):
+        fresh = self.fresh_report()
+        committed = copy.deepcopy(fresh)
+        fresh["deterministic"]["fanout"]["crossing_ratio"] = 1.0
+        errors = check_against_baseline(committed, fresh)
+        assert any("fell back toward unicast" in error for error in errors)
+
+    def test_counter_drift_is_caught(self):
+        fresh = self.fresh_report()
+        committed = copy.deepcopy(fresh)
+        committed["deterministic"]["barrier"]["arrivals"] += 1
+        errors = check_against_baseline(committed, fresh)
+        assert any("diverged" in error for error in errors)
+
+    def test_config_mismatch_is_its_own_error(self):
+        fresh = self.fresh_report()
+        committed = copy.deepcopy(fresh)
+        committed["config"]["seed"] += 1
+        errors = check_against_baseline(committed, fresh)
+        assert len(errors) == 1
+        assert "config diverged" in errors[0]
+
+    def test_committed_baseline_holds_via_cli_subprocess(self):
+        """Tier-1 tripwire: the tree must hold BENCH_mcast.json's
+        deterministic section, end to end through ``python -m repro``."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "mcast", "--check"],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            timeout=600,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert result.returncode == 0, result.stderr or result.stdout
+        assert result.stdout.startswith("OK:")
+
+
+class TestMcastCLI:
+    def test_default_inline_run_exits_zero(self, capsys):
+        code = mcast_cli.main(
+            ["--messages", "2", "--rounds", "1", "--workers", "1,2",
+             "--mode", "inline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fanout:" in out
+        assert "barrier:" in out
+        assert "parity:" in out and "identical" in out
+
+    def test_json_flag_writes_canonical_report(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_mcast.json"
+        code = mcast_cli.main(
+            ["--messages", "2", "--rounds", "1", "--workers", "1",
+             "--mode", "inline", "--json", str(target)]
+        )
+        assert code == 0
+        report = json.loads(target.read_text())
+        assert report["bench"] == "mcast"
+        assert target.read_text() == render_bench_json(report)
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCommittedBaseline:
+    def test_bench_mcast_json_exists_and_parses(self):
+        path = default_baseline_path()
+        report = json.loads(path.read_text())
+        assert report["bench"] == "mcast"
+        assert report["deterministic"]["parity"]["verdict"] is True
+        # The committed file is in canonical serialization.
+        assert path.read_text() == render_bench_json(report)
+
+    def test_committed_baseline_pins_the_fanout_win(self):
+        """The acceptance numbers of the multicast tentpole: an 8-member
+        group behind a shared subtree costs 1/8th the inter-HUB frames of
+        unicast, the 64-CAB barrier tree is depth 6, and nothing leaks."""
+        report = json.loads(default_baseline_path().read_text())
+        fanout = report["deterministic"]["fanout"]
+        assert fanout["members"] == 8
+        assert fanout["crossing_ratio"] == 0.125
+        assert fanout["incomplete"] == []
+        assert fanout["live_buffers"] == 0
+        barrier = report["deterministic"]["barrier"]
+        assert barrier["members"] == 64
+        assert barrier["tree_depth"] == 6
+        assert barrier["live_buffers"] == 0

@@ -38,6 +38,18 @@ def test_telemetry_package_is_simulation_sensitive():
     assert nectarlint._is_sensitive("src/repro/telemetry/perfetto.py")
 
 
+def test_hub_package_is_simulation_sensitive():
+    """The fan-out plane forwards frames on the hot path: strict rules."""
+    assert "hub" in nectarlint.SENSITIVE_PARTS
+    assert nectarlint._is_sensitive("src/repro/hub/groups.py")
+
+
+def test_hub_package_is_lint_clean():
+    findings = nectarlint.lint_paths([str(SRC / "repro" / "hub")])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"nectarlint findings in repro.hub:\n{rendered}"
+
+
 def test_telemetry_package_is_lint_clean():
     findings = nectarlint.lint_paths([str(SRC / "repro" / "telemetry")])
     rendered = "\n".join(finding.render() for finding in findings)
