@@ -1,19 +1,9 @@
 """Run the full evaluation: every table, figure, micro-cost, and ablation.
 
-Usage:  python -m repro  [table1|fig6|fig7|fig8|micro|ablations|all]
-        python -m repro  lint [paths...] [--strict] [--static]
-                              [--format text|json|sarif] [--baseline FILE]
-        python -m repro  flow --graph [paths...]
-        python -m repro  analyze [--rounds N]
-        python -m repro  chaos [--scenario NAME] [--seed N] [--smoke] [--list]
-        python -m repro  observe [--workload NAME] [--trace FILE] [--metrics FILE]
-        python -m repro  scale [--shape S] [--hubs N] [--workers LIST]
-                               [--parity] [--bench] [--json FILE]
-        python -m repro  mcast [--seed N] [--workers LIST] [--json FILE]
-                               [--check]
-        python -m repro  bench buf [--check | --write] [--json FILE]
-        python -m repro  ops [--list] [--incident NAME] [--seed N]
-                             [--json FILE] [--check]
+The usage block below is generated from the dispatch tables
+(:data:`_SUBCOMMANDS`, :data:`_EXPERIMENTS`) that actually route the
+arguments, so it cannot drift from the real command set;
+``tests/test_bench_cli.py`` pins the two together.
 
 ``lint`` runs nectarlint, the static determinism/sim-safety checker
 (see :mod:`repro.analysis.nectarlint`); with ``--static`` it also runs
@@ -28,85 +18,108 @@ telemetry plane on and exports Perfetto traces, metrics, and cycle
 profiles (see :mod:`repro.telemetry.observe`); ``scale`` runs a
 fleet-scale topology sharded across worker processes
 (see :mod:`repro.cluster`); ``mcast`` runs the NMP multicast fan-out and
-CAB-collective benchmark and gates it against ``BENCH_mcast.json``
-(see :mod:`repro.cluster.mcast`); ``bench buf`` runs the zero-copy buffer-plane
-benchmark and gates its host-copy counters against ``BENCH_buf.json``
-(see :mod:`repro.buf.bench`); ``ops`` runs the scored operations lab —
-reproducible incidents observed through a flight recorder, with baseline
-detect/localize/mitigate evaluators gated against ``OPS_baseline.txt``
-(see :mod:`repro.ops`).
+CAB-collective benchmark (see :mod:`repro.cluster.mcast`); ``ops`` runs
+the scored operations lab — reproducible incidents observed through a
+flight recorder (see :mod:`repro.ops`); ``bench`` is the unified
+scenario harness (see :mod:`repro.scenario`): it runs any committed
+scenario file, sweeps parameter grids into capacity-curve reports, and
+``bench --check-all`` is the one regression gate over every committed
+baseline (``BENCH_scale.json``, ``BENCH_buf.json``, ``BENCH_mcast.json``,
+``OPS_baseline.txt``, ``BENCH_engine.json``, ``BENCH_load.json``).
 """
 
 from __future__ import annotations
 
+import importlib
 import sys
 
-from repro.bench import ablations, fig6, fig7, fig8, microcosts, table1
+#: Subcommand dispatch: name -> (module with ``main(argv)``, usage line).
+_SUBCOMMANDS = {
+    "lint": (
+        "repro.analysis.nectarlint",
+        "lint [paths...] [--strict] [--static]\n"
+        "                      [--format text|json|sarif] [--baseline FILE]",
+    ),
+    "flow": ("repro.analysis.flow.cli", "flow --graph [paths...]"),
+    "analyze": ("repro.analysis.driver", "analyze [--rounds N]"),
+    "chaos": (
+        "repro.faults.campaign",
+        "chaos [--scenario NAME] [--seed N] [--smoke] [--list]",
+    ),
+    "observe": (
+        "repro.telemetry.observe",
+        "observe [--workload NAME] [--trace FILE] [--metrics FILE]",
+    ),
+    "scale": (
+        "repro.cluster.cli",
+        "scale [--shape S] [--hubs N] [--workers LIST]\n"
+        "                       [--parity] [--bench] [--json FILE] [--check]",
+    ),
+    "mcast": (
+        "repro.cluster.mcast_cli",
+        "mcast [--seed N] [--workers LIST] [--json FILE]\n"
+        "                       [--check]",
+    ),
+    "bench": (
+        "repro.scenario.cli",
+        "bench <scenario> [--check | --write] [--json FILE]\n"
+        "        python -m repro  bench [--list | --check-all]",
+    ),
+    "ops": (
+        "repro.ops.cli",
+        "ops [--list] [--incident NAME] [--seed N]\n"
+        "                     [--json FILE] [--check]",
+    ),
+}
 
+#: Experiment dispatch: name -> module in :mod:`repro.bench` whose
+#: ``main()`` runs it (all follow the common ``DriverResult`` contract).
 _EXPERIMENTS = {
-    "table1": table1.main,
-    "fig6": fig6.main,
-    "fig7": fig7.main,
-    "fig8": fig8.main,
-    "micro": microcosts.main,
-    "ablations": ablations.main,
+    "table1": "repro.bench.table1",
+    "fig6": "repro.bench.fig6",
+    "fig7": "repro.bench.fig7",
+    "fig8": "repro.bench.fig8",
+    "micro": "repro.bench.microcosts",
+    "ablations": "repro.bench.ablations",
 }
 
 
+def build_usage() -> str:
+    """The usage block, generated from the dispatch tables."""
+    lines = [
+        f"Usage:  python -m repro  [{'|'.join(_EXPERIMENTS)}|all]",
+    ]
+    for name in _SUBCOMMANDS:
+        _module, usage = _SUBCOMMANDS[name]
+        lines.append(f"        python -m repro  {usage}")
+    return "\n".join(lines)
+
+
+__doc__ = __doc__.replace(
+    "The usage block below",
+    build_usage() + "\n\nThe usage block above",
+    1,
+)
+
+
 def main(argv: list[str]) -> int:
-    if argv and argv[0] == "lint":
-        from repro.analysis import nectarlint
-
-        return nectarlint.main(argv[1:])
-    if argv and argv[0] == "flow":
-        from repro.analysis.flow import cli
-
-        return cli.main(argv[1:])
-    if argv and argv[0] == "analyze":
-        from repro.analysis import driver
-
-        return driver.main(argv[1:])
-    if argv and argv[0] == "chaos":
-        from repro.faults import campaign
-
-        return campaign.main(argv[1:])
-    if argv and argv[0] == "observe":
-        from repro.telemetry import observe
-
-        return observe.main(argv[1:])
-    if argv and argv[0] == "scale":
-        from repro.cluster import cli
-
-        return cli.main(argv[1:])
-    if argv and argv[0] == "mcast":
-        from repro.cluster import mcast_cli
-
-        return mcast_cli.main(argv[1:])
-    if argv and argv[0] == "ops":
-        from repro.ops import cli
-
-        return cli.main(argv[1:])
-    if argv and argv[0] == "bench":
-        if len(argv) < 2 or argv[1] != "buf":
-            print("usage: python -m repro bench buf [--check | --write] "
-                  "[--json FILE]", file=sys.stderr)
-            return 2
-        from repro.buf import bench
-
-        return bench.main(argv[2:])
+    """Dispatch ``python -m repro`` arguments; returns the exit code."""
+    if argv and argv[0] in _SUBCOMMANDS:
+        module_name, _usage = _SUBCOMMANDS[argv[0]]
+        module = importlib.import_module(module_name)
+        return module.main(argv[1:])
     targets = argv or ["all"]
     names = list(_EXPERIMENTS) if targets == ["all"] else targets
-    subcommands = "lint, flow, analyze, chaos, observe, scale, mcast, bench, ops"
     for name in names:
         if name not in _EXPERIMENTS:
             print(f"unknown experiment {name!r}; choose from "
                   f"{', '.join(_EXPERIMENTS)}, 'all', or a subcommand "
-                  f"({subcommands})", file=sys.stderr)
+                  f"({', '.join(_SUBCOMMANDS)})", file=sys.stderr)
             return 2
     for index, name in enumerate(names):
         if index:
             print("\n" + "=" * 72 + "\n")
-        _EXPERIMENTS[name]()
+        importlib.import_module(_EXPERIMENTS[name]).main()
     return 0
 
 

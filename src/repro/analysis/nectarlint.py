@@ -61,6 +61,7 @@ SENSITIVE_PARTS = (
     "buf",
     "ops",
     "hub",
+    "scenario",
 )
 
 #: Path components marking zero-copy data-path code: frame/message payloads

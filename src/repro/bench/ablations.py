@@ -16,10 +16,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List
+from typing import Dict, Generator, List, Mapping, Optional
 
 from repro.apps.latency import cab_udp_rtt, host_udp_rtt
 from repro.apps.throughput import cab_tcp_throughput, host_rmp_throughput
+from repro.bench import DriverResult, resolve_params
 from repro.bench.harness import format_table, two_hosted_nodes, two_nodes
 from repro.host.driver import MODE_RPC, MODE_SHARED
 from repro.host.machine import HostedNode
@@ -32,6 +33,7 @@ __all__ = [
     "ip_input_mode_comparison",
     "mailbox_mode_comparison",
     "main",
+    "scenario",
     "vme_bandwidth_sweep",
 ]
 
@@ -157,10 +159,27 @@ def checksum_sweep(
     return rows
 
 
-def main() -> None:
-    """Run and print every ablation."""
-    upcall = upcall_vs_thread_server()
-    print(
+#: The driver's parameter contract (see :func:`scenario`).
+DEFAULTS: Dict[str, object] = {}
+
+
+def run() -> Dict[str, object]:
+    """Run every ablation; returns a name -> measurements dict."""
+    return {
+        "upcall": upcall_vs_thread_server(),
+        "mailbox": mailbox_mode_comparison(),
+        "ip_input": ip_input_mode_comparison(),
+        "vme": vme_bandwidth_sweep(),
+        "checksum": checksum_sweep(),
+    }
+
+
+def render(results: Dict[str, object]) -> str:
+    """Format every ablation as its paper-style table."""
+    upcall = results["upcall"]
+    mailbox = results["mailbox"]
+    modes = results["ip_input"]
+    tables = [
         format_table(
             "Ablation: mailbox server as upcall vs thread (per request)",
             ["shape", "us/request"],
@@ -169,11 +188,7 @@ def main() -> None:
                 ("reader upcall", f"{upcall['upcall_us']:.1f}"),
                 ("upcall saves", f"{upcall['upcall_advantage_us']:.1f}"),
             ],
-        )
-    )
-    print()
-    mailbox = mailbox_mode_comparison()
-    print(
+        ),
         format_table(
             "Ablation: host mailbox op implementations (per put+get cycle)",
             ["implementation", "us/cycle"],
@@ -182,11 +197,7 @@ def main() -> None:
                 ("RPC-based", f"{mailbox['rpc_us']:.1f}"),
                 ("speedup", f"{mailbox['speedup']:.2f}x (paper: ~2x)"),
             ],
-        )
-    )
-    print()
-    modes = ip_input_mode_comparison()
-    print(
+        ),
         format_table(
             "Ablation: IP input placement (UDP RTT)",
             ["mode", "us"],
@@ -195,24 +206,52 @@ def main() -> None:
                 ("high-priority thread", f"{modes['thread_us']:.1f}"),
                 ("thread penalty", f"{modes['thread_penalty_us']:.1f}"),
             ],
-        )
-    )
-    print()
-    print(
+        ),
         format_table(
             "Ablation: VME bus bandwidth sweep (host-host RMP, 8 KB)",
             ["bus Mbit/s", "throughput Mbit/s"],
-            [(f"{m:.0f}", t) for m, t in vme_bandwidth_sweep()],
-        )
-    )
-    print()
-    print(
+            [(f"{m:.0f}", t) for m, t in results["vme"]],
+        ),
         format_table(
             "Ablation: software checksum cost (CAB-CAB TCP, 8 KB)",
             ["ns/byte", "throughput Mbit/s"],
-            [(c, t) for c, t in checksum_sweep()],
+            [(c, t) for c, t in results["checksum"]],
+        ),
+    ]
+    return "\n\n".join(tables)
+
+
+def scenario(params: Optional[Mapping] = None) -> DriverResult:
+    """Run every ablation under the common driver contract."""
+    config = resolve_params(DEFAULTS, params)
+    results = run()
+    rows: List[dict] = []
+    for name in ("upcall", "mailbox", "ip_input"):
+        for key, value in results[name].items():
+            rows.append(
+                {"ablation": name, "quantity": key, "value": round(value, 3)}
+            )
+    for mbps, throughput in results["vme"]:
+        rows.append(
+            {"ablation": "vme", "quantity": f"bus_{mbps:.0f}_mbps", "value": throughput}
         )
+    for cost, throughput in results["checksum"]:
+        rows.append(
+            {"ablation": "checksum", "quantity": f"cost_{cost}_ns_per_byte", "value": throughput}
+        )
+    return DriverResult(
+        name="ablations",
+        config=config,
+        rows=rows,
+        text=render(results),
     )
+
+
+def main() -> DriverResult:
+    """Run and print every ablation."""
+    result = scenario()
+    print(result.text)
+    return result
 
 
 if __name__ == "__main__":

@@ -10,12 +10,16 @@ polls, so no interrupt or context switch is needed there.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Mapping, Optional
 
 from repro.apps.latency import fig6_one_way_breakdown
+from repro.bench import DriverResult, resolve_params
 from repro.bench.harness import format_table, two_hosted_nodes
 
-__all__ = ["main", "run", "shares"]
+__all__ = ["main", "run", "scenario", "shares"]
+
+#: The driver's parameter contract (see :func:`scenario`).
+DEFAULTS = {"message_size": 32}
 
 PAPER_TOTAL_US = 163.0
 PAPER_SHARES = {
@@ -47,21 +51,53 @@ def shares(breakdown: Dict[str, float]) -> Dict[str, float]:
     }
 
 
-def main() -> Dict[str, float]:
-    """Run and print the Fig. 6 breakdown and shares."""
-    breakdown = run()
-    rows = [(name, f"{value:.1f}") for name, value in breakdown.items()]
-    print(format_table("Figure 6: one-way datagram latency breakdown (us)", ["component", "us"], rows))
-    print()
-    fractions = shares(breakdown)
-    rows = [
-        (name, f"{fraction * 100:.0f}%", f"{PAPER_SHARES[name] * 100:.0f}%")
-        for name, fraction in fractions.items()
+def render(breakdown: Dict[str, float]) -> str:
+    """Format the breakdown and paper-share tables."""
+    lines = [
+        format_table(
+            "Figure 6: one-way datagram latency breakdown (us)",
+            ["component", "us"],
+            [(name, f"{value:.1f}") for name, value in breakdown.items()],
+        ),
+        "",
+        format_table(
+            "Shares vs paper",
+            ["component", "measured", "paper"],
+            [
+                (name, f"{fraction * 100:.0f}%", f"{PAPER_SHARES[name] * 100:.0f}%")
+                for name, fraction in shares(breakdown).items()
+            ],
+        ),
+        f"\npaper one-way total: {PAPER_TOTAL_US} us; "
+        f"measured: {breakdown['total one-way']:.1f} us",
     ]
-    print(format_table("Shares vs paper", ["component", "measured", "paper"], rows))
-    print(f"\npaper one-way total: {PAPER_TOTAL_US} us; "
-          f"measured: {breakdown['total one-way']:.1f} us")
-    return breakdown
+    return "\n".join(lines)
+
+
+def scenario(params: Optional[Mapping] = None) -> DriverResult:
+    """Run the Fig. 6 breakdown under the common driver contract."""
+    config = resolve_params(DEFAULTS, params)
+    breakdown = run(config["message_size"])
+    fractions = shares(breakdown)
+    return DriverResult(
+        name="fig6",
+        config=config,
+        rows=[
+            {"component": name, "us": round(value, 1)}
+            for name, value in breakdown.items()
+        ],
+        text=render(breakdown),
+        extras={
+            "shares": {name: round(f, 4) for name, f in fractions.items()}
+        },
+    )
+
+
+def main() -> DriverResult:
+    """Run and print the Fig. 6 breakdown and shares."""
+    result = scenario()
+    print(result.text)
+    return result
 
 
 if __name__ == "__main__":

@@ -10,12 +10,14 @@ packet size doubles; for large packets transmission time dominates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping, Optional
 
 from repro.apps.throughput import cab_rmp_throughput, cab_tcp_throughput
+from repro.bench import DriverResult, resolve_params
 from repro.bench.harness import format_table, two_nodes
 
-__all__ = ["Fig7Row", "main", "run", "SIZES"]
+__all__ = ["Fig7Row", "main", "run", "scenario", "SIZES"]
 
 SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
 
@@ -79,26 +81,51 @@ def render(rows: list[Fig7Row]) -> str:
     )
 
 
-def main(sizes=SIZES, count: int = 40) -> list[Fig7Row]:
-    """Run, print, and chart Figure 7."""
+#: The driver's parameter contract (see :func:`scenario`).
+DEFAULTS = {"sizes": list(SIZES), "count": 40}
+
+
+def render_full(rows: list[Fig7Row]) -> str:
+    """The table, the rendered curves, and the paper reference line."""
     from repro.bench.plot import render_curves
 
-    rows = run(sizes, count)
-    print(render(rows))
-    print()
-    print(
-        render_curves(
-            "Figure 7 (rendered)",
-            {
-                "RMP": [(r.size, r.rmp_mbps) for r in rows],
-                "TCP/IP": [(r.size, r.tcp_mbps) for r in rows],
-                "TCP w/o checksum": [(r.size, r.tcp_nochecksum_mbps) for r in rows],
-            },
-        )
+    return "\n".join(
+        [
+            render(rows),
+            "",
+            render_curves(
+                "Figure 7 (rendered)",
+                {
+                    "RMP": [(r.size, r.rmp_mbps) for r in rows],
+                    "TCP/IP": [(r.size, r.tcp_mbps) for r in rows],
+                    "TCP w/o checksum": [
+                        (r.size, r.tcp_nochecksum_mbps) for r in rows
+                    ],
+                },
+            ),
+            f"\npaper: RMP ~{PAPER_RMP_8K} Mbit/s at 8 KB; TCP w/o checksum "
+            f"~RMP; TCP/IP below both (software checksum)",
+        ]
     )
-    print(f"\npaper: RMP ~{PAPER_RMP_8K} Mbit/s at 8 KB; TCP w/o checksum ~RMP; "
-          f"TCP/IP below both (software checksum)")
-    return rows
+
+
+def scenario(params: Optional[Mapping] = None) -> DriverResult:
+    """Run the Fig. 7 sweep under the common driver contract."""
+    config = resolve_params(DEFAULTS, params)
+    rows = run(tuple(config["sizes"]), config["count"])
+    return DriverResult(
+        name="fig7",
+        config=config,
+        rows=[asdict(row) for row in rows],
+        text=render_full(rows),
+    )
+
+
+def main() -> DriverResult:
+    """Run, print, and chart Figure 7."""
+    result = scenario()
+    print(result.text)
+    return result
 
 
 if __name__ == "__main__":

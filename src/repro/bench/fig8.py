@@ -10,7 +10,8 @@ bypasses the VME bus) reach ~7.2 Mbit/s.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping, Optional
 
 from repro.apps.throughput import (
     ethernet_throughput,
@@ -18,9 +19,10 @@ from repro.apps.throughput import (
     host_tcp_throughput,
     netdev_throughput,
 )
+from repro.bench import DriverResult, resolve_params
 from repro.bench.harness import format_table, two_hosted_nodes
 
-__all__ = ["Fig8Row", "main", "run", "SIZES"]
+__all__ = ["Fig8Row", "main", "run", "scenario", "SIZES"]
 
 SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
 
@@ -76,24 +78,48 @@ def render(rows: list[Fig8Row], baselines: dict) -> str:
     return table + extras
 
 
-def main(sizes=SIZES, count: int = 30) -> tuple[list[Fig8Row], dict]:
-    """Run, print, and chart Figure 8."""
+#: The driver's parameter contract (see :func:`scenario`).
+DEFAULTS = {"sizes": list(SIZES), "count": 30}
+
+
+def render_full(rows: list[Fig8Row], baselines: dict) -> str:
+    """The table, reference lines, and rendered curves."""
     from repro.bench.plot import render_curves
 
-    rows = run(sizes, count)
-    baselines = run_baselines()
-    print(render(rows, baselines))
-    print()
-    print(
-        render_curves(
-            "Figure 8 (rendered)",
-            {
-                "RMP": [(r.size, r.rmp_mbps) for r in rows],
-                "TCP/IP": [(r.size, r.tcp_mbps) for r in rows],
-            },
-        )
+    return "\n".join(
+        [
+            render(rows, baselines),
+            "",
+            render_curves(
+                "Figure 8 (rendered)",
+                {
+                    "RMP": [(r.size, r.rmp_mbps) for r in rows],
+                    "TCP/IP": [(r.size, r.tcp_mbps) for r in rows],
+                },
+            ),
+        ]
     )
-    return rows, baselines
+
+
+def scenario(params: Optional[Mapping] = None) -> DriverResult:
+    """Run the Fig. 8 sweep under the common driver contract."""
+    config = resolve_params(DEFAULTS, params)
+    rows = run(tuple(config["sizes"]), config["count"])
+    baselines = run_baselines()
+    return DriverResult(
+        name="fig8",
+        config=config,
+        rows=[asdict(row) for row in rows],
+        text=render_full(rows, baselines),
+        extras={"baselines": baselines},
+    )
+
+
+def main() -> DriverResult:
+    """Run, print, and chart Figure 8."""
+    result = scenario()
+    print(result.text)
+    return result
 
 
 if __name__ == "__main__":

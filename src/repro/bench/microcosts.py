@@ -9,14 +9,22 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Mapping, Optional
 
 from repro.apps.latency import host_reqresp_rtt
+from repro.bench import DriverResult, resolve_params
 from repro.bench.harness import format_table, two_hosted_nodes, two_nodes
 from repro.hw.fiber import Frame
 from repro.units import ns_to_us
 
-__all__ = ["context_switch_us", "link_latency_ns", "main", "rpc_claim_us", "run"]
+__all__ = [
+    "context_switch_us",
+    "link_latency_ns",
+    "main",
+    "rpc_claim_us",
+    "run",
+    "scenario",
+]
 
 PAPER_CONTEXT_SWITCH_US = 20.0
 PAPER_HUB_SETUP_NS = 700
@@ -84,17 +92,41 @@ def run() -> Dict[str, float]:
     }
 
 
-def main() -> Dict[str, float]:
-    """Run and print the micro-cost table."""
-    results = run()
+#: The driver's parameter contract (see :func:`scenario`).
+DEFAULTS: Dict[str, object] = {}
+
+
+def render(results: Dict[str, float]) -> str:
+    """Format the micro-cost table against the paper's stated numbers."""
     rows = [
         ("context switch (us)", f"{results['context_switch_us']:.1f}", PAPER_CONTEXT_SWITCH_US),
         ("HUB setup (ns)", f"{results['hub_setup_ns']:.0f}", PAPER_HUB_SETUP_NS),
         ("link 1-byte latency (us)", f"{results['link_one_byte_us']:.2f}", f"< {PAPER_LINK_LATENCY_LIMIT_US}"),
         ("host RPC RTT (us)", f"{results['rpc_rtt_us']:.1f}", f"< {PAPER_RPC_LIMIT_US}"),
     ]
-    print(format_table("Micro-costs vs paper", ["quantity", "measured", "paper"], rows))
-    return results
+    return format_table("Micro-costs vs paper", ["quantity", "measured", "paper"], rows)
+
+
+def scenario(params: Optional[Mapping] = None) -> DriverResult:
+    """Run the micro-cost checks under the common driver contract."""
+    config = resolve_params(DEFAULTS, params)
+    results = run()
+    return DriverResult(
+        name="micro",
+        config=config,
+        rows=[
+            {"quantity": name, "value": round(value, 3)}
+            for name, value in results.items()
+        ],
+        text=render(results),
+    )
+
+
+def main() -> DriverResult:
+    """Run and print the micro-cost table."""
+    result = scenario()
+    print(result.text)
+    return result
 
 
 if __name__ == "__main__":

@@ -9,13 +9,17 @@ an RPC between application tasks on two hosts completes in under 500 us.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Mapping, Optional
 
 from repro.apps import latency as lat
+from repro.bench import DriverResult, resolve_params
 from repro.bench.harness import format_table, two_hosted_nodes, two_nodes
 
-__all__ = ["Table1Row", "run", "main"]
+__all__ = ["Table1Row", "run", "scenario", "main"]
+
+#: The driver's parameter contract (see :func:`scenario`).
+DEFAULTS = {"message_size": 32, "rounds": 30, "warmup": 5}
 
 #: Paper reference values (us); None where the scan is illegible.
 PAPER_HOST_RTT = {"datagram": 325.0, "rmp": None, "request-response": None, "udp": None}
@@ -84,11 +88,23 @@ def render(rows: list[Table1Row]) -> str:
     )
 
 
-def main() -> list[Table1Row]:
+def scenario(params: Optional[Mapping] = None) -> DriverResult:
+    """Run Table 1 under the common driver contract."""
+    config = resolve_params(DEFAULTS, params)
+    rows = run(config["message_size"], config["rounds"], config["warmup"])
+    return DriverResult(
+        name="table1",
+        config=config,
+        rows=[asdict(row) for row in rows],
+        text=render(rows),
+    )
+
+
+def main() -> DriverResult:
     """Run and print Table 1."""
-    rows = run()
-    print(render(rows))
-    return rows
+    result = scenario()
+    print(result.text)
+    return result
 
 
 if __name__ == "__main__":

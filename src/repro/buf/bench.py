@@ -238,6 +238,36 @@ def main(argv: List[str]) -> int:
         else:
             print(f"unknown option {arg!r}", file=sys.stderr)
             return 2
+    if check and json_path == default_baseline_path():
+        # Deprecation shim: the unified scenario gate owns this check now.
+        from repro.scenario.gate import run_gate
+        from repro.scenario.model import load_scenario
+
+        print(
+            "note: `bench buf --check` delegates to the unified gate; prefer "
+            "`python -m repro bench buf --check`",
+            file=sys.stderr,
+        )
+        try:
+            scenario = load_scenario("buf")
+        except FileNotFoundError:
+            print("no committed scenarios/buf.toml", file=sys.stderr)
+            return 2
+        result = run_gate(scenario)
+        if not result.report:
+            for error in result.errors:
+                print(error, file=sys.stderr)
+            return 2
+        for error in result.errors:
+            print(f"REGRESSION: {error}")
+        fresh = result.report["deterministic"]
+        print(
+            f"bench buf: rmp-stream host.memcpy_bytes "
+            f"{fresh['rmp_stream']['memcpy_bytes']} "
+            f"({fresh['rmp_stream_reduction_pct']['memcpy_bytes']}% below "
+            f"pre-refactor) — {'FAIL' if result.errors else 'OK'}"
+        )
+        return 1 if result.errors else 0
     report = run_buf_bench()
     if check:
         try:

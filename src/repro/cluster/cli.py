@@ -13,16 +13,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List
 
-from repro.cluster.bench import (
-    check_against_baseline,
-    default_baseline_path,
-    render_bench_json,
-    run_scale_bench,
-)
+from repro.cluster.bench import render_bench_json, run_scale_bench
 from repro.cluster.conductor import Conductor, run_reference
 from repro.cluster.fleet import make_fleet
 from repro.cluster.partition import Partitioner
@@ -142,31 +136,24 @@ def _run_bench(args, fleet) -> int:
 
 
 def _run_check(args, fleet) -> int:
-    path = default_baseline_path()
-    if not path.exists():
-        print(f"no committed baseline at {path}", file=sys.stderr)
+    # Deprecation shim: the unified scenario gate owns this check now.
+    from repro.scenario.gate import run_gate
+    from repro.scenario.model import load_scenario
+
+    print(
+        "note: `scale --check` delegates to the unified gate; prefer "
+        "`python -m repro bench scale --check`",
+        file=sys.stderr,
+    )
+    try:
+        scenario = load_scenario("scale")
+    except FileNotFoundError:
+        print("no committed scenarios/scale.toml", file=sys.stderr)
         return 1
-    committed = json.loads(path.read_text())
-    workers = sorted(
-        int(count) for count in committed["deterministic"]["workers"]
-    )
-    report = run_scale_bench(
-        fleet,
-        _workload(committed["config"]["workload"]["seed"]),
-        workers=workers,
-        mode=committed["config"]["mode"],
-    )
-    errors = check_against_baseline(committed, report)
-    if errors:
-        for error in errors:
-            print(f"FAIL: {error}", file=sys.stderr)
-        return 1
-    summary = ", ".join(
-        f"{count}w={report['deterministic']['workers'][str(count)]['barriers']} barriers"
-        for count in workers
-    )
-    print(f"OK: BENCH_scale.json deterministic section holds ({summary})")
-    return 0
+    result = run_gate(scenario)
+    for line in result.verdict_lines():
+        print(line, file=sys.stdout if result.ok else sys.stderr)
+    return 0 if result.ok else 1
 
 
 def main(argv: List[str]) -> int:

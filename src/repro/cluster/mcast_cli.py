@@ -11,16 +11,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List
 
-from repro.cluster.mcast import (
-    check_against_baseline,
-    default_baseline_path,
-    render_bench_json,
-    run_mcast_bench,
-)
+from repro.cluster.mcast import render_bench_json, run_mcast_bench
 
 __all__ = ["main"]
 
@@ -76,27 +70,24 @@ def _summarize(report: dict) -> None:
 
 
 def _run_check(args) -> int:
-    path = default_baseline_path()
-    if not path.exists():
-        print(f"no committed baseline at {path}", file=sys.stderr)
-        return 1
-    committed = json.loads(path.read_text())
-    config = committed["config"]
-    report = run_mcast_bench(
-        seed=config["seed"],
-        messages=config["messages"],
-        rounds=config["rounds"],
-        workers=list(config["workers"]),
-        mode=config["mode"],
+    # Deprecation shim: the unified scenario gate owns this check now.
+    from repro.scenario.gate import run_gate
+    from repro.scenario.model import load_scenario
+
+    print(
+        "note: `mcast --check` delegates to the unified gate; prefer "
+        "`python -m repro bench mcast --check`",
+        file=sys.stderr,
     )
-    errors = check_against_baseline(committed, report)
-    if errors:
-        for error in errors:
-            print(f"FAIL: {error}", file=sys.stderr)
+    try:
+        scenario = load_scenario("mcast")
+    except FileNotFoundError:
+        print("no committed scenarios/mcast.toml", file=sys.stderr)
         return 1
-    ratio = report["deterministic"]["fanout"]["crossing_ratio"]
-    print(f"OK: BENCH_mcast.json deterministic section holds (ratio {ratio})")
-    return 0
+    result = run_gate(scenario)
+    for line in result.verdict_lines():
+        print(line, file=sys.stdout if result.ok else sys.stderr)
+    return 0 if result.ok else 1
 
 
 def main(argv: List[str]) -> int:

@@ -73,6 +73,34 @@ def main(argv: List[str]) -> int:
         print("--json needs --incident (one journal per file)", file=sys.stderr)
         return 2
 
+    if check and seed == 7:
+        # Deprecation shim: the unified scenario gate owns this check now.
+        from repro.scenario.gate import run_gate
+        from repro.scenario.model import load_scenario
+
+        print(
+            "note: `ops --check` delegates to the unified gate; prefer "
+            "`python -m repro bench ops --check`",
+            file=sys.stderr,
+        )
+        try:
+            scenario = load_scenario("ops")
+        except FileNotFoundError:
+            print("no committed scenarios/ops.toml", file=sys.stderr)
+            return 1
+        result = run_gate(scenario)
+        if not result.report:
+            for error in result.errors:
+                print(error, file=sys.stderr)
+            return 1
+        deterministic = result.report["deterministic"]
+        sys.stdout.write(deterministic["report"])
+        if any("golden" in error for error in result.errors):
+            print("ops report DIFFERS from OPS_baseline.txt", file=sys.stderr)
+            return 1
+        print("ops report matches OPS_baseline.txt")
+        return 0 if deterministic["passed"] else 1
+
     if check:
         report = lab.run_lab(seed)
         text = report.render() + "\n"

@@ -1,0 +1,162 @@
+"""``python -m repro bench`` — the unified scenario/benchmark CLI.
+
+Usage::
+
+    python -m repro bench --list                    # committed scenarios
+    python -m repro bench <scenario> [--json FILE]  # run, print the report
+    python -m repro bench <scenario> --check        # gate vs its baseline
+    python -m repro bench <scenario> --write        # refresh its baseline
+    python -m repro bench --check-all               # every committed gate
+
+``<scenario>`` is a committed scenario name (a file in ``scenarios/``)
+or a path to any ``.toml`` scenario file.  An unknown name lists the
+available scenarios and exits 2, like the top-level unknown-experiment
+path.  Exit status: 0 on success/clean gate, 1 on regression, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.scenario.config import ConfigError
+from repro.scenario.gate import check_all, run_gate, write_baseline
+from repro.scenario.model import (
+    Scenario,
+    list_scenarios,
+    load_scenario,
+)
+from repro.scenario.runner import KINDS
+from repro.scenario.sweep import run_scenario
+
+__all__ = ["main"]
+
+
+def _print_available(stream) -> None:
+    names = list_scenarios()
+    if names:
+        print("available scenarios:", file=stream)
+        for name in names:
+            try:
+                scenario = load_scenario(name)
+                print(f"  {name:16s} {scenario.describe()}", file=stream)
+            except ConfigError as error:
+                print(f"  {name:16s} INVALID ({error})", file=stream)
+    else:
+        print("no committed scenarios found", file=stream)
+    kinds = ", ".join(sorted(KINDS))
+    print(f"kinds: {kinds}", file=stream)
+
+
+def _run_check_all() -> int:
+    results = check_all()
+    failures = 0
+    for result in results:
+        for line in result.verdict_lines():
+            prefix = f"{result.scenario.name:12s} "
+            print(prefix + line)
+        failures += 0 if result.ok else 1
+    gated = len(results)
+    if failures:
+        print(f"bench --check-all: FAIL ({failures}/{gated} gates)")
+        return 1
+    print(f"bench --check-all: OK ({gated} gates)")
+    return 0
+
+
+def _load(name: str) -> Optional[Scenario]:
+    try:
+        return load_scenario(name)
+    except FileNotFoundError:
+        print(f"unknown scenario {name!r}", file=sys.stderr)
+        _print_available(sys.stderr)
+        return None
+    except ConfigError as error:
+        print(str(error), file=sys.stderr)
+        return None
+
+
+def main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro bench``; returns the exit code."""
+    name: Optional[str] = None
+    check = write = list_only = do_check_all = False
+    json_path: Optional[str] = None
+    arguments = list(argv)
+    while arguments:
+        arg = arguments.pop(0)
+        if arg == "--list":
+            list_only = True
+        elif arg == "--check-all":
+            do_check_all = True
+        elif arg == "--check":
+            check = True
+        elif arg == "--write":
+            write = True
+        elif arg == "--json":
+            if not arguments:
+                print("--json requires a path", file=sys.stderr)
+                return 2
+            json_path = arguments.pop(0)
+        elif arg.startswith("--"):
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
+        elif name is None:
+            name = arg
+        else:
+            print(
+                f"unexpected argument {arg!r} (one scenario per run)",
+                file=sys.stderr,
+            )
+            return 2
+
+    if list_only:
+        _print_available(sys.stdout)
+        return 0
+    if do_check_all:
+        if name is not None or check or write:
+            print("--check-all takes no scenario argument", file=sys.stderr)
+            return 2
+        return _run_check_all()
+    if name is None:
+        print(
+            "usage: python -m repro bench <scenario> [--check | --write] "
+            "[--json FILE] | --list | --check-all",
+            file=sys.stderr,
+        )
+        _print_available(sys.stderr)
+        return 2
+    if check and write:
+        print("--check and --write are mutually exclusive", file=sys.stderr)
+        return 2
+    scenario = _load(name)
+    if scenario is None:
+        return 2
+
+    from repro.scenario.report import render_json, render_text
+
+    if check:
+        result = run_gate(scenario)
+        for line in result.verdict_lines():
+            stream = sys.stdout if result.ok else sys.stderr
+            print(line, file=stream)
+        if json_path is not None and result.report:
+            with open(json_path, "w") as handle:
+                handle.write(render_json(result.report))
+        return 0 if result.ok else 1
+    if write:
+        result = write_baseline(scenario)
+        if not result.ok:
+            for error in result.errors:
+                print(error, file=sys.stderr)
+            return 2
+        print(f"wrote {result.baseline} ({result.detail()})")
+        return 0
+
+    report = run_scenario(scenario)
+    sys.stdout.write(render_text(scenario, report))
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            handle.write(render_json(report))
+        print(f"wrote {json_path}")
+    return 0

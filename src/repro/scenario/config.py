@@ -1,0 +1,167 @@
+"""A line-tracking parser for the scenario files' TOML subset.
+
+Scenario files are plain TOML restricted to the constructs the schema
+needs — ``[section]`` / ``[section.sub]`` headers and ``key = value``
+pairs whose values are strings, integers, floats, booleans, or
+single-line arrays of those scalars.  Everything in the subset is also
+valid TOML, so the files stay readable by ``tomllib`` and external
+tooling; parsing them ourselves buys the one thing ``tomllib`` does not
+provide: a **line number for every key**, so schema errors can point at
+the offending line of the offending file (see
+:class:`~repro.scenario.model.Scenario`).
+
+:func:`parse_config` returns ``(data, lines)`` where ``data`` is the
+nested ``dict`` a TOML parser would produce and ``lines`` maps each
+dotted key path (and section path) to its 1-based line number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["ConfigError", "parse_config"]
+
+
+class ConfigError(Exception):
+    """A scenario-file syntax or schema violation, located to file:line."""
+
+    def __init__(self, path: str, line: int, message: str):
+        self.path = path
+        self.line = line
+        self.message = message
+        super().__init__(f"{path}:{line}: {message}")
+
+
+def _strip_comment(text: str) -> str:
+    """Drop a trailing ``#`` comment, respecting double-quoted strings."""
+    in_string = False
+    for index, char in enumerate(text):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return text[:index]
+    return text
+
+
+_BARE_KEY_OK = set("abcdefghijklmnopqrstuvwxyz0123456789_-")
+
+
+def _valid_key(key: str) -> bool:
+    return bool(key) and all(char in _BARE_KEY_OK for char in key.lower())
+
+
+def _parse_scalar(token: str, path: str, line: int):
+    """One scalar value: string, bool, integer, or float."""
+    token = token.strip()
+    if not token:
+        raise ConfigError(path, line, "empty value")
+    if token.startswith('"'):
+        if len(token) < 2 or not token.endswith('"') or token.count('"') != 2:
+            raise ConfigError(path, line, f"malformed string {token!r}")
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    sign_stripped = token[1:] if token[0] in "+-" else token
+    if sign_stripped.isdigit():
+        return int(token)
+    try:
+        return float(token)
+    except ValueError:
+        raise ConfigError(
+            path,
+            line,
+            f"unparseable value {token!r} (expected a string in double "
+            f"quotes, an integer, a float, true/false, or [list, ...])",
+        ) from None
+
+
+def _split_list(body: str, path: str, line: int) -> list:
+    """The comma-separated items of a single-line ``[...]`` array."""
+    items = []
+    depth_guard = body.strip()
+    if "[" in depth_guard:
+        raise ConfigError(path, line, "nested arrays are not supported")
+    if not depth_guard:
+        return items
+    for token in depth_guard.split(","):
+        if token.strip() == "":
+            raise ConfigError(path, line, "empty array element")
+        items.append(_parse_scalar(token, path, line))
+    return items
+
+
+def _parse_value(text: str, path: str, line: int):
+    text = text.strip()
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise ConfigError(
+                path, line, "arrays must open and close on one line"
+            )
+        return _split_list(text[1:-1], path, line)
+    return _parse_scalar(text, path, line)
+
+
+def _enter_section(
+    data: dict, parts: list, path: str, line: int
+) -> dict:
+    """Create/descend to the table named by the header parts."""
+    table = data
+    for part in parts:
+        existing = table.get(part)
+        if existing is None:
+            existing = table[part] = {}
+        elif not isinstance(existing, dict):
+            raise ConfigError(
+                path, line, f"section [{'.'.join(parts)}] collides with a key"
+            )
+        table = existing
+    return table
+
+
+def parse_config(text: str, path: str = "<config>") -> Tuple[dict, Dict[str, int]]:
+    """Parse scenario TOML; returns ``(data, line-number index)``.
+
+    ``lines`` maps every dotted key path and section path to the line it
+    appeared on, enabling file/line schema errors downstream.
+    """
+    data: dict = {}
+    lines: Dict[str, int] = {}
+    section_parts: list = []
+    table = data
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = _strip_comment(raw).strip()
+        if not stripped:
+            continue
+        if stripped.startswith("["):
+            if stripped.startswith("[["):
+                raise ConfigError(
+                    path, number, "arrays of tables ([[...]]) are not supported"
+                )
+            if not stripped.endswith("]"):
+                raise ConfigError(path, number, f"malformed header {stripped!r}")
+            header = stripped[1:-1].strip()
+            parts = [part.strip() for part in header.split(".")]
+            if not all(_valid_key(part) for part in parts):
+                raise ConfigError(path, number, f"malformed header {stripped!r}")
+            dotted = ".".join(parts)
+            if dotted in lines:
+                raise ConfigError(path, number, f"duplicate section [{dotted}]")
+            lines[dotted] = number
+            section_parts = parts
+            table = _enter_section(data, parts, path, number)
+            continue
+        if "=" not in stripped:
+            raise ConfigError(
+                path, number, f"expected 'key = value', got {stripped!r}"
+            )
+        key, _, value_text = stripped.partition("=")
+        key = key.strip()
+        if not _valid_key(key):
+            raise ConfigError(path, number, f"malformed key {key!r}")
+        if key in table:
+            raise ConfigError(path, number, f"duplicate key {key!r}")
+        table[key] = _parse_value(value_text, path, number)
+        lines[".".join(section_parts + [key])] = number
+    return data, lines

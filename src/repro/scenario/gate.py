@@ -1,0 +1,151 @@
+"""The one regression gate over every committed scenario baseline.
+
+``python -m repro bench <scenario> --check`` re-runs the scenario with
+its committed configuration and compares the fresh report against the
+committed baseline using the kind's own check function — for the legacy
+benches that is literally the same ``check_against_baseline`` the
+historical per-CLI gates called, so verdicts are identical by
+construction.  ``--write`` refreshes the baseline after a deliberate
+change.  ``--check-all`` replays **every** committed scenario that names
+a baseline (``BENCH_scale.json``, ``BENCH_buf.json``,
+``BENCH_mcast.json``, ``OPS_baseline.txt``, ``BENCH_engine.json``,
+``BENCH_load.json``, ...) — the single tier-1 entry point that subsumes
+the old ``scale --check`` / ``bench buf --check`` / ``mcast --check`` /
+``ops --check`` quartet.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.scenario.model import (
+    Scenario,
+    list_scenarios,
+    load_scenario,
+    repo_root,
+)
+from repro.scenario.runner import KINDS, generic_check
+from repro.scenario.sweep import run_scenario
+
+__all__ = ["GateResult", "baseline_path", "check_all", "run_gate", "write_baseline"]
+
+
+@dataclass
+class GateResult:
+    """One scenario's gate outcome: report, verdicts, summary detail."""
+
+    scenario: Scenario
+    report: dict
+    errors: List[str] = field(default_factory=list)
+    baseline: Optional[pathlib.Path] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every regression verdict came back clean."""
+        return not self.errors
+
+    def detail(self) -> str:
+        """The kind's one-line summary of the fresh report."""
+        kind = KINDS[self.scenario.kind]
+        if self.scenario.sweep:
+            points = self.report["deterministic"]["points"]
+            return f"{len(points)} sweep points"
+        if kind.summarize is not None:
+            return kind.summarize(self.report)
+        return "deterministic section holds"
+
+    def verdict_lines(self) -> List[str]:
+        """Printable verdicts: one OK line, or one FAIL line per error."""
+        name = self.baseline.name if self.baseline else "(no baseline)"
+        if self.ok:
+            return [f"OK: {name} deterministic section holds ({self.detail()})"]
+        return [f"FAIL: {error}" for error in self.errors]
+
+
+def baseline_path(scenario: Scenario) -> Optional[pathlib.Path]:
+    """The scenario's committed baseline file (repo-root-relative)."""
+    if scenario.baseline is None:
+        return None
+    return repo_root() / scenario.baseline
+
+
+def _load_baseline(scenario: Scenario, path: pathlib.Path):
+    text = path.read_text()
+    kind = KINDS[scenario.kind]
+    if kind.baseline_format == "text" and not scenario.sweep:
+        return text
+    return json.loads(text)
+
+
+def _check(scenario: Scenario, committed, fresh: dict) -> List[str]:
+    kind = KINDS[scenario.kind]
+    if scenario.sweep:
+        # Sweep reports use the assembled shape regardless of kind.
+        return generic_check(committed, fresh)
+    return kind.check(committed, fresh)
+
+
+def run_gate(scenario: Scenario) -> GateResult:
+    """Run the scenario and gate it against its committed baseline."""
+    path = baseline_path(scenario)
+    if path is None:
+        report = run_scenario(scenario)
+        return GateResult(
+            scenario,
+            report,
+            errors=[
+                f"scenario {scenario.name!r} names no baseline; add "
+                f"'baseline = \"...\"' under [scenario] and --write it"
+            ],
+        )
+    if not path.exists():
+        return GateResult(
+            scenario,
+            {},
+            errors=[f"no committed baseline at {path}; create it with --write"],
+            baseline=path,
+        )
+    committed = _load_baseline(scenario, path)
+    report = run_scenario(scenario)
+    errors = _check(scenario, committed, report)
+    return GateResult(scenario, report, errors=errors, baseline=path)
+
+
+def write_baseline(scenario: Scenario) -> GateResult:
+    """Run the scenario and (re)write its committed baseline file."""
+    from repro.scenario.report import render_json
+
+    path = baseline_path(scenario)
+    if path is None:
+        return GateResult(
+            scenario,
+            {},
+            errors=[
+                f"scenario {scenario.name!r} names no baseline file to write"
+            ],
+        )
+    report = run_scenario(scenario)
+    kind = KINDS[scenario.kind]
+    if kind.baseline_format == "text" and not scenario.sweep:
+        path.write_text(report["deterministic"]["report"])
+    else:
+        path.write_text(render_json(report))
+    return GateResult(scenario, report, baseline=path)
+
+
+def check_all() -> List[GateResult]:
+    """Gate every committed scenario that names a baseline, sorted by name.
+
+    Scenarios without a baseline (the table/figure drivers) are skipped —
+    they have nothing committed to regress against.
+    """
+    results: List[GateResult] = []
+    for name in list_scenarios():
+        scenario = load_scenario(name)
+        if scenario.baseline is None:
+            continue
+        results.append(run_gate(scenario))
+    return results

@@ -1,0 +1,110 @@
+"""The ``load`` scenario kind: a closed-loop multi-user capacity workload.
+
+Laminar-style capacity methodology (PAPERS.md): rather than a single
+operating point, report the **curve** — offered load (concurrent users)
+against p50/p99 latency and delivered throughput.  Each user is a
+closed-loop datagram ping-pong client on CAB ``a`` echoed by CAB ``b``
+through one HUB; as users contend for the CAB CPUs and the fiber, tail
+latency rises and per-user throughput flattens, which is exactly the
+shape a capacity sweep exists to expose.
+
+Everything reported from :func:`run_load` derives from simulated
+quantities (integer nanoseconds, byte counts, event counts), so a sweep
+over ``users`` is byte-stable run to run — the property the committed
+``BENCH_load.json`` gate pins.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.model.stats import LatencyRecorder
+from repro.system import NectarSystem
+from repro.units import seconds
+
+__all__ = ["run_load"]
+
+_LIMIT = seconds(120)
+
+#: Datagram port bases; user ``u`` binds client port BASE_A+u on CAB a and
+#: echo port BASE_B+u on CAB b, keeping every user's traffic separable.
+_BASE_A = 100
+_BASE_B = 600
+
+
+def run_load(
+    users: int = 1,
+    messages: int = 16,
+    payload_bytes: int = 128,
+    warmup: int = 2,
+) -> dict:
+    """Drive ``users`` concurrent ping-pong clients; return the point record.
+
+    Returns a dict of deterministic series values for one operating
+    point: message count, delivered payload bytes, simulated time,
+    p50/p99/mean round-trip latency (us), throughput (Mbit/s of payload
+    delivered back to the clients), and the engine's event count.
+    """
+    if users < 1:
+        raise ValueError("users must be >= 1")
+    if messages <= warmup:
+        raise ValueError("messages must exceed the warmup count")
+    system = NectarSystem()
+    hub = system.add_hub("hub0")
+    node_a = system.add_node("cab-a", hub, 0)
+    node_b = system.add_node("cab-b", hub, 1)
+    payload = b"\xA5" * payload_bytes
+
+    recorder = LatencyRecorder("load")
+    done = system.sim.event()
+    finished = [0]
+    delivered = [0]
+
+    def client(user: int, inbox) -> Generator:
+        for index in range(messages):
+            start = system.now
+            yield from node_a.datagram.send(
+                _BASE_A + user, node_b.node_id, _BASE_B + user, payload
+            )
+            message = yield from inbox.begin_get()
+            delivered[0] += len(message.read())
+            yield from inbox.end_get(message)
+            if index >= warmup:
+                recorder.record(system.now - start)
+        finished[0] += 1
+        if finished[0] == users:
+            done.succeed()
+
+    def echo(user: int, inbox) -> Generator:
+        for _index in range(messages):
+            message = yield from inbox.begin_get()
+            data = message.read()
+            yield from inbox.end_get(message)
+            yield from node_b.datagram.send(
+                _BASE_B + user, node_a.node_id, _BASE_A + user, data
+            )
+
+    for user in range(users):
+        a_inbox = node_a.runtime.mailbox(f"load-a-{user}")
+        b_inbox = node_b.runtime.mailbox(f"load-b-{user}")
+        node_a.datagram.bind(_BASE_A + user, a_inbox)
+        node_b.datagram.bind(_BASE_B + user, b_inbox)
+        node_a.runtime.fork_application(client(user, a_inbox), f"load-cl-{user}")
+        node_b.runtime.fork_system(echo(user, b_inbox), f"load-echo-{user}")
+
+    system.run_until(done, limit=_LIMIT)
+    sim_ns = max(1, system.now)
+    # Payload bits echoed back to the clients over the simulated interval.
+    throughput_mbps = round(delivered[0] / 2 * 8 * 1e3 / sim_ns, 3)
+    return {
+        "users": users,
+        "messages": users * messages,
+        "payload_bytes": payload_bytes,
+        "delivered_bytes": delivered[0],
+        "events": system.sim.events_scheduled,
+        "sim_ns": sim_ns,
+        "p50_us": round(recorder.percentile_ns(50) / 1e3, 1),
+        "p99_us": round(recorder.percentile_ns(99) / 1e3, 1),
+        "mean_us": round(recorder.mean_us, 1),
+        "throughput_mbps": throughput_mbps,
+    }

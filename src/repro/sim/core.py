@@ -389,6 +389,11 @@ class Simulator:
         """The timestamp of the earliest queued event (None when idle)."""
         return self._queue[0][0] if self._queue else None
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled — the engine-speed work counter."""
+        return self._seq
+
     # -- execution ------------------------------------------------------------
 
     def step(self) -> bool:

@@ -1,0 +1,196 @@
+"""The unified ``python -m repro bench`` CLI, dispatch, and legacy shims."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro.__main__ as entry
+from repro.scenario import cli as bench_cli
+from repro.scenario.gate import GateResult
+from repro.scenario.model import load_scenario
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+ENV = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"}
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env=ENV,
+    )
+
+
+class TestDispatch:
+    def test_usage_block_is_generated_from_the_dispatch_tables(self):
+        usage = entry.build_usage()
+        assert usage in entry.__doc__
+        for name in entry._SUBCOMMANDS:
+            assert f"python -m repro  {name}" in usage
+        for name in entry._EXPERIMENTS:
+            assert name in usage
+
+    def test_every_experiment_module_follows_the_driver_contract(self):
+        import importlib
+
+        for name, module_name in entry._EXPERIMENTS.items():
+            module = importlib.import_module(module_name)
+            assert callable(module.scenario), name
+            assert callable(module.main), name
+            assert isinstance(module.DEFAULTS, dict), name
+
+    def test_unknown_experiment_exits_2(self):
+        result = run_cli("frobnicate")
+        assert result.returncode == 2
+        assert "unknown experiment" in result.stderr
+        assert "bench" in result.stderr  # subcommand listing
+
+    def test_driver_result_contract(self):
+        from repro.bench import DriverResult, resolve_params
+        from repro.bench import table1
+
+        result = table1.scenario({"rounds": 2, "warmup": 1})
+        assert isinstance(result, DriverResult)
+        assert result.name == "table1"
+        assert result.config["rounds"] == 2
+        assert len(result.rows) == 4  # one per protocol
+        assert "Table 1" in result.text
+        with pytest.raises(KeyError):
+            resolve_params({"a": 1}, {"b": 2})
+
+
+class TestBenchCli:
+    def test_unknown_scenario_lists_available_and_exits_2(self, capsys):
+        assert bench_cli.main(["nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'nope'" in err
+        assert "available scenarios:" in err
+        assert "scale" in err and "load" in err
+
+    def test_list_shows_committed_scenarios(self, capsys):
+        assert bench_cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("scale", "buf", "mcast", "ops", "engine", "load"):
+            assert name in out
+
+    def test_check_and_write_are_mutually_exclusive(self, capsys):
+        assert bench_cli.main(["load", "--check", "--write"]) == 2
+
+    def test_unknown_option_exits_2(self, capsys):
+        assert bench_cli.main(["--frobnicate"]) == 2
+
+    def test_no_arguments_prints_usage_and_exits_2(self, capsys):
+        assert bench_cli.main([]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_check_all_subsumes_every_legacy_gate(self):
+        """Tier-1 tripwire: the unified gate replays every committed
+        baseline end to end through ``python -m repro bench``."""
+        result = run_cli("bench", "--check-all")
+        assert result.returncode == 0, result.stderr or result.stdout
+        for baseline in (
+            "BENCH_scale.json",
+            "BENCH_buf.json",
+            "BENCH_mcast.json",
+            "OPS_baseline.txt",
+            "BENCH_engine.json",
+            "BENCH_load.json",
+        ):
+            assert f"OK: {baseline}" in result.stdout
+        assert "bench --check-all: OK (6 gates)" in result.stdout
+
+
+def fake_gate(scenario_name, *, errors=(), report=None):
+    scenario = load_scenario(scenario_name)
+    return GateResult(
+        scenario,
+        report if report is not None else {"deterministic": {}},
+        errors=list(errors),
+        baseline=pathlib.Path(scenario.baseline),
+    )
+
+
+class TestDeprecationShims:
+    """The four legacy ``--check`` spellings delegate to the unified gate
+    and point at the new entry point (on stderr, so stdout contracts
+    survive)."""
+
+    def test_scale_check_delegates_and_points_to_bench(self, capsys, monkeypatch):
+        from repro.cluster import cli
+        from repro.scenario import gate
+
+        report = {
+            "deterministic": {"workers": {"1": {"barriers": 1}}}
+        }
+        monkeypatch.setattr(
+            gate, "run_gate", lambda scenario: fake_gate("scale", report=report)
+        )
+        assert cli.main(["--check"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("OK: BENCH_scale.json")
+        assert "python -m repro bench scale --check" in captured.err
+
+    def test_scale_check_failure_goes_to_stderr(self, capsys, monkeypatch):
+        from repro.cluster import cli
+        from repro.scenario import gate
+
+        monkeypatch.setattr(
+            gate,
+            "run_gate",
+            lambda scenario: fake_gate("scale", errors=["it broke"]),
+        )
+        assert cli.main(["--check"]) == 1
+        assert "FAIL: it broke" in capsys.readouterr().err
+
+    def test_mcast_check_delegates_and_points_to_bench(self, capsys, monkeypatch):
+        from repro.cluster import mcast_cli
+        from repro.scenario import gate
+
+        report = {
+            "deterministic": {"fanout": {"crossing_ratio": 0.125}}
+        }
+        monkeypatch.setattr(
+            gate, "run_gate", lambda scenario: fake_gate("mcast", report=report)
+        )
+        assert mcast_cli.main(["--check"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("OK: BENCH_mcast.json")
+        assert "python -m repro bench mcast --check" in captured.err
+
+    def test_ops_check_delegates_and_points_to_bench(self, capsys, monkeypatch):
+        from repro.ops import cli
+        from repro.scenario import gate
+
+        report = {
+            "deterministic": {"passed": True, "report": "lab report\n", "score": 1}
+        }
+        monkeypatch.setattr(
+            gate, "run_gate", lambda scenario: fake_gate("ops", report=report)
+        )
+        assert cli.main(["--check"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == "lab report\nops report matches OPS_baseline.txt\n"
+        assert "python -m repro bench ops --check" in captured.err
+
+    def test_buf_check_delegates_and_points_to_bench(self, capsys, monkeypatch):
+        from repro.buf import bench
+        from repro.scenario import gate
+
+        report = {
+            "deterministic": {
+                "rmp_stream": {"memcpy_bytes": 16416},
+                "rmp_stream_reduction_pct": {"memcpy_bytes": 63.3},
+            }
+        }
+        monkeypatch.setattr(
+            gate, "run_gate", lambda scenario: fake_gate("buf", report=report)
+        )
+        assert bench.main(["--check"]) == 0
+        captured = capsys.readouterr()
+        assert "— OK" in captured.out
+        assert "python -m repro bench buf --check" in captured.err

@@ -1,0 +1,175 @@
+"""Scenario execution: sweep determinism, reports, and the unified gate."""
+
+import json
+
+import pytest
+
+from repro.scenario import gate as gate_mod
+from repro.scenario.model import load_scenario_text
+from repro.scenario.report import render_json, render_text
+from repro.scenario.runner import KINDS, generic_check
+from repro.scenario.sweep import run_scenario
+
+SWEEP_TEXT = (
+    '[scenario]\nname = "cap"\nkind = "load"\n\n'
+    "[params]\nmessages = 4\n\n"
+    "[sweep]\nusers = [1, 2]\n"
+)
+
+SINGLE_TEXT = (
+    '[scenario]\nname = "one"\nkind = "load"\n\n'
+    "[params]\nmessages = 4\nusers = 2\n"
+)
+
+
+def load(text=SWEEP_TEXT):
+    return load_scenario_text(text, "inline.toml")
+
+
+class TestDeterminism:
+    def test_double_run_deterministic_sections_are_identical(self):
+        scenario = load()
+        stable = lambda report: json.dumps(
+            {"config": report["config"], "deterministic": report["deterministic"]},
+            sort_keys=True,
+        )
+        assert stable(run_scenario(scenario)) == stable(run_scenario(scenario))
+
+    def test_double_run_text_report_is_byte_identical(self):
+        scenario = load()
+        first = render_text(scenario, run_scenario(scenario))
+        second = render_text(scenario, run_scenario(scenario))
+        assert first == second
+
+    def test_wall_clock_is_quarantined_under_measured(self):
+        report = run_scenario(load())
+        assert "wall_ns" not in json.dumps(report["deterministic"])
+        assert all(
+            point["wall_ns"] > 0 for point in report["measured"]["points"]
+        )
+
+
+class TestReports:
+    def test_sweep_report_is_a_capacity_curve(self):
+        scenario = load()
+        report = run_scenario(scenario)
+        text = render_text(scenario, report)
+        head = text.splitlines()[0]
+        assert head == "capacity curve: cap (kind load, 2 points)"
+        header = text.splitlines()[2]
+        assert header.startswith("users")  # sweep key leads the columns
+        for series in ("p50_us", "p99_us", "throughput_mbps", "sim_ns"):
+            assert series in header
+
+    def test_single_run_report_tabulates_scalars(self):
+        scenario = load(SINGLE_TEXT)
+        text = render_text(scenario, run_scenario(scenario))
+        assert "scenario: one (kind load)" in text
+        assert "p99_us" in text
+
+    def test_render_json_is_canonical(self):
+        report = run_scenario(load(SINGLE_TEXT))
+        rendered = render_json(report)
+        assert rendered.endswith("\n")
+        assert rendered == json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+class TestGenericCheck:
+    def test_identical_reports_pass(self):
+        report = run_scenario(load())
+        assert generic_check(json.loads(render_json(report)), report) == []
+
+    def test_deterministic_divergence_is_flagged(self):
+        report = run_scenario(load())
+        committed = json.loads(render_json(report))
+        committed["deterministic"]["points"][0]["p99_us"] += 1
+        errors = generic_check(committed, report)
+        assert errors and "points" in errors[0]
+
+    def test_config_change_is_flagged_as_rebaseline(self):
+        report = run_scenario(load())
+        committed = json.loads(render_json(report))
+        committed["config"]["params"]["messages"] = 99
+        errors = generic_check(committed, report)
+        assert errors == [
+            "config diverged from the committed baseline; re-baseline "
+            "deliberately with --write"
+        ]
+
+
+class TestGate:
+    def scenario_with_baseline(self):
+        return load_scenario_text(
+            SWEEP_TEXT.replace(
+                'kind = "load"\n', 'kind = "load"\nbaseline = "TMP_gate.json"\n'
+            ),
+            "inline.toml",
+        )
+
+    def test_write_then_check_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate_mod, "repo_root", lambda: tmp_path)
+        scenario = self.scenario_with_baseline()
+        written = gate_mod.write_baseline(scenario)
+        assert written.ok and (tmp_path / "TMP_gate.json").exists()
+        result = gate_mod.run_gate(scenario)
+        assert result.ok
+        assert result.verdict_lines() == [
+            "OK: TMP_gate.json deterministic section holds (2 sweep points)"
+        ]
+
+    def test_corrupted_baseline_fails_the_gate(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate_mod, "repo_root", lambda: tmp_path)
+        scenario = self.scenario_with_baseline()
+        gate_mod.write_baseline(scenario)
+        path = tmp_path / "TMP_gate.json"
+        committed = json.loads(path.read_text())
+        committed["deterministic"]["points"][0]["events"] += 1
+        path.write_text(json.dumps(committed, sort_keys=True, indent=2) + "\n")
+        result = gate_mod.run_gate(scenario)
+        assert not result.ok
+        assert result.verdict_lines()[0].startswith("FAIL:")
+
+    def test_missing_baseline_file_is_actionable(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate_mod, "repo_root", lambda: tmp_path)
+        result = gate_mod.run_gate(self.scenario_with_baseline())
+        assert not result.ok
+        assert "--write" in result.errors[0]
+
+
+class TestCommittedScenarios:
+    """The committed scenario set stays loadable and correctly wired."""
+
+    def test_every_committed_scenario_validates(self):
+        from repro.scenario.model import list_scenarios, load_scenario
+
+        names = list_scenarios()
+        assert {"scale", "buf", "mcast", "ops", "engine", "load"} <= set(names)
+        for name in names:
+            scenario = load_scenario(name)
+            assert scenario.kind in KINDS
+
+    def test_legacy_gates_keep_their_baseline_files(self):
+        from repro.scenario.model import load_scenario
+
+        expected = {
+            "scale": "BENCH_scale.json",
+            "buf": "BENCH_buf.json",
+            "mcast": "BENCH_mcast.json",
+            "ops": "OPS_baseline.txt",
+        }
+        for name, baseline in expected.items():
+            assert load_scenario(name).baseline == baseline
+
+    def test_engine_baseline_carries_events_per_sec_series(self):
+        from repro.scenario.model import repo_root
+
+        committed = json.loads((repo_root() / "BENCH_engine.json").read_text())
+        workloads = [
+            point["point"]["workload"]
+            for point in committed["deterministic"]["points"]
+        ]
+        assert workloads == ["table1", "rmp-stream"]
+        for point in committed["measured"]["points"]:
+            assert point["events_per_sec"] > 0
+        for point in committed["deterministic"]["points"]:
+            assert point["events"] > 0 and point["events_per_sim_ms"] > 0
